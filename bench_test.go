@@ -1,0 +1,206 @@
+// Package mpicontend's repository-level benchmarks regenerate each table
+// and figure of "MPI+Threads: Runtime Contention and Remedies" (PPoPP'15)
+// in reduced (Quick) form, one benchmark per experiment, and report the
+// figure's headline metric via b.ReportMetric. Run the full-size sweeps
+// with cmd/mpistorm.
+package mpicontend
+
+import (
+	"testing"
+
+	"mpicontend/internal/experiments"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/report"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/workloads"
+	"mpicontend/mpisim"
+)
+
+// benchExperiment runs one registry experiment per iteration and reports
+// the mean y of the named series as the benchmark metric.
+func benchExperiment(b *testing.B, id, series, unit string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = meanSeries(b, tables, series)
+	}
+	b.ReportMetric(last, unit)
+}
+
+func meanSeries(b *testing.B, tables []*report.Table, name string) float64 {
+	b.Helper()
+	for _, t := range tables {
+		for _, s := range t.Series {
+			if s.Name == name {
+				if len(s.Points) == 0 {
+					b.Fatalf("series %q empty", name)
+				}
+				sum := 0.0
+				for _, p := range s.Points {
+					sum += p.Y
+				}
+				return sum / float64(len(s.Points))
+			}
+		}
+	}
+	b.Fatalf("series %q not found", name)
+	return 0
+}
+
+// --- Microbenchmark figures ---
+
+func BenchmarkFig2aThroughputMutex(b *testing.B) {
+	benchExperiment(b, "fig2a", "8 tpn", "kmsgs/s")
+}
+
+func BenchmarkFig2bNUMABinding(b *testing.B) {
+	benchExperiment(b, "fig2b", "scatter", "kmsgs/s")
+}
+
+func BenchmarkFig3aBiasFactors(b *testing.B) {
+	benchExperiment(b, "fig3a", "Core Level", "bias")
+}
+
+func BenchmarkFig3cDangling(b *testing.B) {
+	benchExperiment(b, "fig3c", "Mutex", "danglingreqs")
+}
+
+func BenchmarkFig5aDanglingTicket(b *testing.B) {
+	benchExperiment(b, "fig5a", "Ticket", "danglingreqs")
+}
+
+func BenchmarkFig5bBindingLocks(b *testing.B) {
+	benchExperiment(b, "fig5b", "Ticket_compact", "kmsgs/s")
+}
+
+func BenchmarkFig5cPerSocket(b *testing.B) {
+	benchExperiment(b, "fig5c", "Ticket", "kmsgs/s")
+}
+
+func BenchmarkFig6bN2N(b *testing.B) {
+	benchExperiment(b, "fig6b", "Priority", "kmsgs/s")
+}
+
+func BenchmarkFig8aThroughputAll(b *testing.B) {
+	benchExperiment(b, "fig8a", "Ticket", "kmsgs/s")
+}
+
+func BenchmarkFig8bLatency(b *testing.B) {
+	benchExperiment(b, "fig8b", "Ticket", "us")
+}
+
+func BenchmarkFig9RMAPut(b *testing.B) {
+	benchExperiment(b, "fig9a", "Ticket", "kelems/s")
+}
+
+func BenchmarkFig9RMAGet(b *testing.B) {
+	benchExperiment(b, "fig9b", "Ticket", "kelems/s")
+}
+
+func BenchmarkFig9RMAAcc(b *testing.B) {
+	benchExperiment(b, "fig9c", "Ticket", "kelems/s")
+}
+
+// --- Kernel and application figures ---
+
+func BenchmarkFig10aBFSSingleNode(b *testing.B) {
+	benchExperiment(b, "fig10a", "BFS", "MTEPS")
+}
+
+func BenchmarkFig10bBFSThreadScaling(b *testing.B) {
+	benchExperiment(b, "fig10b", "Ticket", "MTEPS")
+}
+
+func BenchmarkFig10cBFSWeakScaling(b *testing.B) {
+	benchExperiment(b, "fig10c", "Ticket", "MTEPS")
+}
+
+func BenchmarkFig11aStencil(b *testing.B) {
+	benchExperiment(b, "fig11a", "Ticket", "GFlops")
+}
+
+func BenchmarkFig11bStencilBreakdown(b *testing.B) {
+	benchExperiment(b, "fig11b", "Computation", "pct")
+}
+
+func BenchmarkFig12bGenome(b *testing.B) {
+	benchExperiment(b, "fig12b", "Ticket", "s")
+}
+
+// --- Ablations (DESIGN.md design-choice studies) ---
+
+func BenchmarkAblationFutexSpinCount(b *testing.B) {
+	benchExperiment(b, "ablation-spin", "Mutex", "kmsgs/s")
+}
+
+func BenchmarkAblationPriorityVsThreeMutex(b *testing.B) {
+	benchExperiment(b, "ablation-priomutex", "PrioMutex", "kmsgs/s")
+}
+
+func BenchmarkAblationSocketAwarePriority(b *testing.B) {
+	benchExperiment(b, "ablation-socketprio", "SocketPriority", "kmsgs/s")
+}
+
+func BenchmarkAblationMCS(b *testing.B) {
+	benchExperiment(b, "ablation-queuelocks", "MCS", "kmsgs/s")
+}
+
+// --- Direct workload benchmarks (single configuration per op) ---
+
+func benchThroughput(b *testing.B, kind simlock.Kind, threads int) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.Throughput(workloads.ThroughputParams{
+			Lock: kind, Threads: threads, MsgBytes: 64, Windows: 4,
+			TraceRank: -1, Binding: machine.Compact,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.RateMsgsPerSec
+	}
+	b.ReportMetric(rate, "msgs/s")
+}
+
+func BenchmarkThroughputMutex8(b *testing.B)    { benchThroughput(b, simlock.KindMutex, 8) }
+func BenchmarkThroughputTicket8(b *testing.B)   { benchThroughput(b, simlock.KindTicket, 8) }
+func BenchmarkThroughputPriority8(b *testing.B) { benchThroughput(b, simlock.KindPriority, 8) }
+func BenchmarkThroughputSingle(b *testing.B)    { benchThroughput(b, simlock.KindNone, 1) }
+
+// BenchmarkSimulatorEventRate measures raw simulator performance: events
+// dispatched per second of wall time while running the throughput
+// benchmark (a harness health metric, not a paper figure).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := mpisim.Throughput(mpisim.ThroughputConfig{
+			Lock: mpisim.Ticket, Threads: 8, MsgBytes: 64, Windows: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuitePatterns(b *testing.B) {
+	benchExperiment(b, "suite-patterns", "Ticket", "kmsgs/s")
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	benchExperiment(b, "ablation-granularity", "Ticket", "kmsgs/s")
+}
+
+func BenchmarkAblationSelectiveWakeup(b *testing.B) {
+	benchExperiment(b, "ablation-wakeup", "Mutex_rmaput", "kelems/s")
+}
+
+func BenchmarkAblationCohort(b *testing.B) {
+	benchExperiment(b, "ablation-socketprio", "Cohort", "kmsgs/s")
+}

@@ -1,0 +1,132 @@
+// Command lockbench exercises the real (non-simulated) lock
+// implementations from package locks on actual goroutines: aggregate
+// throughput and per-goroutine fairness under contention, in the spirit of
+// the paper's microbenchmarks (with the caveat that the Go scheduler, not
+// NUMA hardware, arbitrates here; see DESIGN.md).
+//
+// Usage:
+//
+//	lockbench -goroutines 8 -duration 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpicontend/locks"
+)
+
+type result struct {
+	name   string
+	total  int64
+	spread float64 // max/min per-goroutine acquisitions
+}
+
+func bench(name string, goroutines int, d time.Duration, lock, unlock func()) result {
+	var stop atomic.Bool
+	counts := make([]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		g := g
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				lock()
+				counts[g]++
+				unlock()
+			}
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	var total, min, max int64
+	min = 1 << 62
+	for _, c := range counts {
+		total += c
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	spread := float64(max)
+	if min > 0 {
+		spread = float64(max) / float64(min)
+	}
+	return result{name: name, total: total, spread: spread}
+}
+
+func main() {
+	goroutines := flag.Int("goroutines", 8, "contending goroutines")
+	duration := flag.Duration("duration", 300*time.Millisecond, "measurement window")
+	flag.Parse()
+
+	var mu sync.Mutex
+	var tk locks.Ticket
+	var ts locks.TAS
+	var tt locks.TTAS
+	var pr locks.Priority
+	var mcs locks.MCS
+
+	results := []result{
+		bench("sync.Mutex", *goroutines, *duration, mu.Lock, mu.Unlock),
+		bench("Ticket", *goroutines, *duration, tk.Lock, tk.Unlock),
+		bench("TAS", *goroutines, *duration, ts.Lock, ts.Unlock),
+		bench("TTAS", *goroutines, *duration, tt.Lock, tt.Unlock),
+		bench("Priority(high)", *goroutines, *duration, pr.LockHigh, pr.UnlockHigh),
+	}
+	// MCS needs a per-goroutine node.
+	{
+		var stop atomic.Bool
+		counts := make([]int64, *goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < *goroutines; g++ {
+			wg.Add(1)
+			g := g
+			go func() {
+				defer wg.Done()
+				var n locks.MCSNode
+				for !stop.Load() {
+					mcs.Acquire(&n)
+					counts[g]++
+					mcs.Release(&n)
+				}
+			}()
+		}
+		time.Sleep(*duration)
+		stop.Store(true)
+		wg.Wait()
+		var total, min, max int64
+		min = 1 << 62
+		for _, c := range counts {
+			total += c
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		spread := float64(max)
+		if min > 0 {
+			spread = float64(max) / float64(min)
+		}
+		results = append(results, result{name: "MCS", total: total, spread: spread})
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].total > results[j].total })
+	fmt.Printf("%d goroutines, %v window\n", *goroutines, *duration)
+	fmt.Printf("%-16s %14s %18s\n", "lock", "acquisitions", "fairness max/min")
+	for _, r := range results {
+		fmt.Printf("%-16s %14d %18.2f\n", r.name, r.total, r.spread)
+	}
+	fmt.Println("\nnote: FIFO locks (Ticket, MCS) should show max/min near 1;")
+	fmt.Println("TAS/TTAS and sync.Mutex may show large spreads under contention.")
+}

@@ -1,0 +1,61 @@
+// Command mpistorm regenerates the tables and figures of "MPI+Threads:
+// Runtime Contention and Remedies" (PPoPP'15) from the simulated
+// reproduction.
+//
+// Usage:
+//
+//	mpistorm -list
+//	mpistorm -experiment fig8a
+//	mpistorm -experiment all -quick
+//
+// Each experiment prints an aligned table whose rows/series mirror the
+// paper's plot; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpicontend/mpisim"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	exp := flag.String("experiment", "", "experiment id to run, or 'all'")
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	chart := flag.Bool("chart", false, "render ASCII charts in addition to tables")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range mpisim.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: mpistorm -experiment <id> [-quick]")
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = mpisim.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		figs, err := mpisim.RunExperiment(id, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Printf("== %s — %s ==\n%s\n", f.ID, f.Title, f.Text)
+			if *chart && f.Chart != "" {
+				fmt.Println(f.Chart)
+			}
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,21 @@
+// Command probe times each registered experiment in Quick mode — a harness
+// health check used during development.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mpicontend/internal/experiments"
+)
+
+func main() {
+	total := time.Now()
+	for _, id := range experiments.IDs() {
+		e, _ := experiments.Get(id)
+		start := time.Now()
+		_, err := e.Run(experiments.Options{Quick: true})
+		fmt.Printf("%-24s %6.1fs err=%v\n", id, time.Since(start).Seconds(), err)
+	}
+	fmt.Printf("TOTAL %.1fs\n", time.Since(total).Seconds())
+}

@@ -1,0 +1,42 @@
+// Genome assembly example: assemble synthetic reads with the SWAP-style
+// distributed assembler and compare runtimes across lock arbitrations
+// (paper §6.3, Fig. 12b). The speedup requires no change to the
+// application — only to the runtime's critical-section arbitration.
+//
+//	go run ./examples/genomeassembly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicontend/mpisim"
+)
+
+func main() {
+	fmt.Println("SWAP-style genome assembly: 8 processes x 2 threads")
+	fmt.Println("(sender + receiver threads with blocking MPI_Send/MPI_Recv)")
+	fmt.Println()
+
+	var mutexNs int64
+	for _, lock := range []mpisim.Lock{mpisim.Mutex, mpisim.Ticket, mpisim.Priority} {
+		r, err := mpisim.Assembly(mpisim.AssemblyConfig{
+			Lock: lock, Procs: 8, GenomeLen: 12000, Reads: 2400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := ""
+		if lock == mpisim.Mutex {
+			mutexNs = r.SimNs
+		} else if mutexNs > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs mutex)", float64(mutexNs)/float64(r.SimNs))
+		}
+		fmt.Printf("%-10s time=%8.2f ms   contigs=%4d  bases=%6d  N50=%4d%s\n",
+			lock, float64(r.SimNs)/1e6, r.Contigs, r.ContigBases, r.N50, speedup)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper reports ~2x end-to-end speedup from replacing the mutex")
+	fmt.Println("with fair arbitration, with no application or hardware changes.")
+}

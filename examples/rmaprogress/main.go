@@ -1,0 +1,44 @@
+// RMA example: one-sided Put/Get/Accumulate with an asynchronous progress
+// thread on every process — the paper's most dramatic case (§6.1.2,
+// Fig. 9): the progress thread monopolizes a mutex-guarded runtime, and
+// fair arbitration recovers up to ~5x.
+//
+//	go run ./examples/rmaprogress
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicontend/mpisim"
+)
+
+func main() {
+	fmt.Println("One-sided transfers with async progress threads, 8 processes")
+	fmt.Println()
+	for _, op := range []mpisim.RMAOp{mpisim.Put, mpisim.Get, mpisim.Accumulate} {
+		opName := map[mpisim.RMAOp]string{
+			mpisim.Put: "Put", mpisim.Get: "Get", mpisim.Accumulate: "Accumulate",
+		}[op]
+		var mutexRate float64
+		for _, lock := range []mpisim.Lock{mpisim.Mutex, mpisim.Ticket, mpisim.Priority} {
+			r, err := mpisim.RMA(mpisim.RMAConfig{
+				Lock: lock, Op: op, ElemBytes: 512, Ops: 12,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if lock == mpisim.Mutex {
+				mutexRate = r.RateElemPerSec
+			} else if mutexRate > 0 {
+				note = fmt.Sprintf("  (%.1fx vs mutex)", r.RateElemPerSec/mutexRate)
+			}
+			fmt.Printf("%-12s %-10s %12.0f elements/s%s\n", opName, lock, r.RateElemPerSec, note)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The async progress thread spends its life polling inside the")
+	fmt.Println("runtime; under a mutex it keeps re-acquiring the lock it just")
+	fmt.Println("released, starving the application thread's operations.")
+}

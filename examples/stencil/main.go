@@ -1,0 +1,38 @@
+// Stencil example: solve a 3-D heat equation with the hybrid MPI+threads
+// stencil kernel and show how lock arbitration affects small problems
+// (paper §6.2.2, Fig. 11).
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicontend/mpisim"
+)
+
+func main() {
+	fmt.Println("3D 7-point stencil, 4 simulated nodes x 8 threads")
+	fmt.Println()
+	fmt.Printf("%-10s %-10s %10s %8s %8s %8s\n",
+		"grid", "lock", "GFlops", "MPI%", "comp%", "sync%")
+	for _, edge := range []int{16, 32, 64} {
+		for _, lock := range []mpisim.Lock{mpisim.Mutex, mpisim.Ticket, mpisim.Priority} {
+			r, err := mpisim.Stencil(mpisim.StencilConfig{
+				Lock: lock, Procs: 4, Threads: 8,
+				NX: edge, NY: edge, NZ: edge, Iters: 4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-10s %10.3f %8.1f %8.1f %8.1f\n",
+				fmt.Sprintf("%d^3", edge), lock, r.GFlops,
+				r.MPIPct, r.ComputePct, r.SyncPct)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Fair arbitration pays off while communication dominates (small")
+	fmt.Println("grids); once computation dominates, the methods converge — the")
+	fmt.Println("shape of the paper's Fig. 11.")
+}

@@ -1,0 +1,3 @@
+module mpicontend
+
+go 1.22

@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate. Each experiment returns one or
+// more report tables whose rows/series mirror the original plot. The cmd
+// tools and the repository-level benchmarks are thin wrappers around this
+// registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mpicontend/internal/report"
+)
+
+// Options tunes experiment size.
+type Options struct {
+	// Quick shrinks sweeps and iteration counts so the full registry can
+	// run in seconds (used by tests and benchmarks); the default sizes
+	// mirror the paper's axes.
+	Quick bool
+	Seed  uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// msgSizes returns the message-size sweep (bytes).
+func (o Options) msgSizes() []int64 {
+	if o.Quick {
+		return []int64{1, 64, 1024, 16384}
+	}
+	return []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// windows returns how many request windows each benchmark thread runs.
+func (o Options) windows() int {
+	if o.Quick {
+		return 4
+	}
+	return 10
+}
+
+// Experiment is a runnable reproduction of one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*report.Table, error)
+}
+
+// registry holds all experiments keyed by id.
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) ([]*report.Table, error)) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try one of %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists all registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"mpicontend/internal/genome"
+	"mpicontend/internal/graph500"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/report"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/stencil"
+)
+
+func init() {
+	register("fig10a", "Graph500 BFS single-node thread scaling (Fig. 10a)", fig10a)
+	register("fig10b", "Graph500 BFS thread scaling with 16 processes (Fig. 10b)", fig10b)
+	register("fig10c", "Graph500 BFS weak scaling (Fig. 10c)", fig10c)
+	register("fig11a", "3D stencil strong scaling (Fig. 11a)", fig11a)
+	register("fig11b", "3D stencil execution breakdown (Fig. 11b)", fig11b)
+	register("fig12b", "Genome assembly strong scaling (Fig. 12b)", fig12b)
+}
+
+// kernelLocks are the methods every kernel figure compares.
+var kernelLocks = []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority}
+
+func (o Options) bfsScale() int {
+	if o.Quick {
+		return 12
+	}
+	return 16
+}
+
+func fig10a(o Options) ([]*report.Table, error) {
+	// Single process, no interprocess communication: the paper's single-
+	// node scalability of the BFS implementation itself.
+	t := &report.Table{ID: "fig10a", Title: "BFS single-node scalability",
+		XLabel: "threads", YLabel: "MTEPS"}
+	s := t.AddSeries("BFS")
+	for _, threads := range []int{1, 2, 4, 8} {
+		r, err := graph500.Run(graph500.Params{
+			Lock: simlock.KindTicket, Threads: threads,
+			Scale: o.bfsScale(), Seed: o.seed(), Binding: machine.Compact,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(threads), r.MTEPS)
+	}
+	return []*report.Table{t}, nil
+}
+
+func fig10b(o Options) ([]*report.Table, error) {
+	t := &report.Table{ID: "fig10b", Title: "BFS thread scaling, compact binding",
+		XLabel: "threads per node", YLabel: "MTEPS"}
+	procs := 16
+	scale := o.bfsScale() + 2
+	if o.Quick {
+		procs = 4
+		scale = o.bfsScale()
+	}
+	for _, k := range kernelLocks {
+		s := t.AddSeries(k.String())
+		for _, threads := range []int{1, 2, 4, 8} {
+			r, err := graph500.Run(graph500.Params{
+				Lock: k, Procs: procs, Threads: threads,
+				Scale: scale, Seed: o.seed(), Binding: machine.Compact,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(threads), r.MTEPS)
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+func fig10c(o Options) ([]*report.Table, error) {
+	t := &report.Table{ID: "fig10c", Title: "BFS weak scaling, 8 threads per process",
+		XLabel: "cores", YLabel: "MTEPS"}
+	nodeCounts := []int{1, 2, 4, 8}
+	if o.Quick {
+		nodeCounts = []int{1, 2, 4}
+	}
+	base := o.bfsScale() - 2
+	for _, k := range kernelLocks {
+		s := t.AddSeries(k.String())
+		for i, nodes := range nodeCounts {
+			r, err := graph500.Run(graph500.Params{
+				Lock: k, Procs: nodes, Threads: 8,
+				Scale: base + i, // problem grows with the machine
+				Seed:  o.seed(), Binding: machine.Compact,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(nodes*8), r.MTEPS)
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// stencilGrids returns (cube edge, per-core KB) pairs for the strong-
+// scaling sweep on the chosen machine size.
+func stencilCases(o Options) (procs, threads int, edges []int) {
+	if o.Quick {
+		return 4, 4, []int{16, 32, 48}
+	}
+	return 8, 8, []int{16, 32, 64, 96, 128}
+}
+
+func fig11a(o Options) ([]*report.Table, error) {
+	t := &report.Table{ID: "fig11a", Title: "3D stencil strong scaling",
+		XLabel: "bytes per core", YLabel: "GFlops"}
+	procs, threads, edges := stencilCases(o)
+	iters := 6
+	if o.Quick {
+		iters = 3
+	}
+	cores := procs * threads
+	for _, k := range kernelLocks {
+		s := t.AddSeries(k.String())
+		for _, e := range edges {
+			r, err := stencil.Run(stencil.Params{
+				Lock: k, Procs: procs, Threads: threads,
+				NX: e, NY: e, NZ: e, Iters: iters, Seed: o.seed(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			perCore := float64(e) * float64(e) * float64(e) * 8 / float64(cores)
+			s.Add(perCore, r.GFlops)
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+func fig11b(o Options) ([]*report.Table, error) {
+	t := &report.Table{ID: "fig11b", Title: "3D stencil execution breakdown (ticket)",
+		XLabel: "bytes per core", YLabel: "percent of time"}
+	procs, threads, edges := stencilCases(o)
+	iters := 6
+	if o.Quick {
+		iters = 3
+	}
+	cores := procs * threads
+	mpiS := t.AddSeries("MPI")
+	compS := t.AddSeries("Computation")
+	syncS := t.AddSeries("OMP_Sync")
+	for _, e := range edges {
+		r, err := stencil.Run(stencil.Params{
+			Lock: simlock.KindTicket, Procs: procs, Threads: threads,
+			NX: e, NY: e, NZ: e, Iters: iters, Seed: o.seed(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		perCore := float64(e) * float64(e) * float64(e) * 8 / float64(cores)
+		mpiS.Add(perCore, r.MPIPct)
+		compS.Add(perCore, r.ComputePct)
+		syncS.Add(perCore, r.SyncPct)
+	}
+	return []*report.Table{t}, nil
+}
+
+func fig12b(o Options) ([]*report.Table, error) {
+	t := &report.Table{ID: "fig12b", Title: "Genome assembly strong scaling",
+		XLabel: "cores", YLabel: "execution time s"}
+	procCounts := []int{4, 8, 16, 32}
+	genomeLen, reads := 20000, 4000
+	if o.Quick {
+		procCounts = []int{4, 8}
+		genomeLen, reads = 6000, 1200
+	}
+	for _, k := range kernelLocks {
+		s := t.AddSeries(k.String())
+		for _, procs := range procCounts {
+			r, err := genome.Run(genome.Params{
+				Lock: k, Procs: procs, ProcsPerNode: 4,
+				GenomeLen: genomeLen, Reads: reads, Seed: o.seed(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Paper: 4 procs/node, 2 threads each => cores = 2*procs.
+			s.Add(float64(2*procs), float64(r.SimNs)/1e9)
+		}
+	}
+	return []*report.Table{t}, nil
+}

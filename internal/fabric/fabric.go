@@ -1,0 +1,166 @@
+// Package fabric models the cluster interconnect: per-process NICs with
+// serialized injection, a latency/bandwidth cost for inter-node transfers
+// (Mellanox QDR class), and a cheaper shared-memory path between processes
+// on the same node. Delivery is asynchronous: packets arrive as events in
+// the destination process's completion queue.
+package fabric
+
+import (
+	"fmt"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+// PacketKind distinguishes the protocol messages exchanged by the MPI
+// runtime. The fabric itself treats them opaquely; kinds live here so both
+// the runtime and tests can name them.
+type PacketKind int
+
+const (
+	// Eager carries a full message payload (small-message protocol).
+	Eager PacketKind = iota
+	// RTS is a rendezvous request-to-send (envelope only).
+	RTS
+	// CTS is a rendezvous clear-to-send reply.
+	CTS
+	// RData carries the rendezvous payload.
+	RData
+	// RMAPut carries a one-sided put payload.
+	RMAPut
+	// RMAGet requests data from a remote window.
+	RMAGet
+	// RMAGetReply carries the data answering an RMAGet.
+	RMAGetReply
+	// RMAAcc carries an accumulate payload.
+	RMAAcc
+	// RMAAck acknowledges completion of a one-sided operation at the
+	// target.
+	RMAAck
+	// TxDone is a local NIC completion: the packet with the given handle
+	// finished injecting. It never crosses the wire.
+	TxDone
+)
+
+// String names the packet kind.
+func (k PacketKind) String() string {
+	names := [...]string{"Eager", "RTS", "CTS", "RData", "RMAPut", "RMAGet",
+		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("PacketKind(%d)", int(k))
+}
+
+// Packet is one unit of traffic between two endpoints.
+type Packet struct {
+	Kind PacketKind
+	Src  int // source endpoint id (MPI rank)
+	Dst  int // destination endpoint id
+	// Bytes is the payload size used for timing; envelope-only packets
+	// use zero.
+	Bytes int64
+	// Handle identifies the runtime object this packet belongs to
+	// (request pointer, window op id); opaque to the fabric.
+	Handle interface{}
+	// Meta carries protocol fields (tag, context, offsets); opaque to
+	// the fabric.
+	Meta interface{}
+	// Payload is the actual user data, if the caller transports any.
+	Payload interface{}
+}
+
+// Handler receives packets at their delivery time, in engine context.
+type Handler func(p *Packet)
+
+// Endpoint is a process's attachment to the fabric: a NIC with serialized
+// injection and a delivery callback.
+type Endpoint struct {
+	id      int
+	node    int
+	fab     *Fabric
+	deliver Handler
+	txFree  sim.Time // NIC busy until this time
+
+	// Stats
+	PacketsSent int64
+	BytesSent   int64
+}
+
+// Fabric is the cluster interconnect.
+type Fabric struct {
+	eng  *sim.Engine
+	cost machine.CostModel
+	eps  []*Endpoint
+}
+
+// New creates a fabric over the given engine and cost model.
+func New(eng *sim.Engine, cost machine.CostModel) *Fabric {
+	return &Fabric{eng: eng, cost: cost}
+}
+
+// Attach registers endpoint id (must be the next consecutive integer,
+// starting at 0) on the given node with a delivery handler.
+func (f *Fabric) Attach(id, node int, h Handler) *Endpoint {
+	if id != len(f.eps) {
+		panic(fmt.Sprintf("fabric: endpoints must attach in order; got %d, want %d", id, len(f.eps)))
+	}
+	ep := &Endpoint{id: id, node: node, fab: f, deliver: h}
+	f.eps = append(f.eps, ep)
+	return ep
+}
+
+// Endpoint returns the attached endpoint with the given id.
+func (f *Fabric) Endpoint(id int) *Endpoint { return f.eps[id] }
+
+// Send injects p from ep. It returns the time at which injection completes
+// (when the local NIC is free again and a send buffer may be reused). The
+// packet is delivered to the destination handler after the path latency.
+// If notifyTx is true, a TxDone packet carrying p.Handle is looped back to
+// the sender at injection completion.
+func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
+	f := ep.fab
+	if p.Dst < 0 || p.Dst >= len(f.eps) {
+		panic(fmt.Sprintf("fabric: send to unattached endpoint %d", p.Dst))
+	}
+	dst := f.eps[p.Dst]
+	now := f.eng.Now()
+
+	var bw, lat int64
+	if dst.node == ep.node {
+		bw, lat = f.cost.IntraNodeBandwidth, f.cost.IntraNodeLatency
+	} else {
+		bw, lat = f.cost.NetBandwidth, f.cost.NetLatency
+	}
+
+	start := now
+	if ep.txFree > start {
+		start = ep.txFree
+	}
+	injection := f.cost.NetOverhead
+	if p.Bytes > 0 && bw > 0 {
+		injection += p.Bytes * 1e9 / bw
+	}
+	injectEnd := start + injection
+	ep.txFree = injectEnd
+	ep.PacketsSent++
+	ep.BytesSent += p.Bytes
+
+	arrive := injectEnd + lat
+	f.eng.At(arrive, func() { dst.deliver(p) })
+
+	if notifyTx {
+		done := &Packet{Kind: TxDone, Src: ep.id, Dst: ep.id, Handle: p.Handle}
+		f.eng.At(injectEnd, func() { ep.deliver(done) })
+	}
+	return injectEnd
+}
+
+// ID returns the endpoint id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Node returns the node the endpoint lives on.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// TxFreeAt returns when the NIC finishes its current injections.
+func (ep *Endpoint) TxFreeAt() sim.Time { return ep.txFree }

@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *Fabric, *[]*Packet, *[]sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	f := New(eng, machine.Default())
+	var got []*Packet
+	var at []sim.Time
+	mk := func(id, node int) {
+		f.Attach(id, node, func(p *Packet) {
+			got = append(got, p)
+			at = append(at, eng.Now())
+		})
+	}
+	mk(0, 0)
+	mk(1, 1)
+	mk(2, 0)
+	return eng, f, &got, &at
+}
+
+func TestInterNodeDeliveryTiming(t *testing.T) {
+	eng, f, got, at := setup(t)
+	cost := machine.Default()
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1, Bytes: 0}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d packets", len(*got))
+	}
+	want := cost.NetOverhead + cost.NetLatency
+	if (*at)[0] != want {
+		t.Fatalf("arrival at %d, want %d", (*at)[0], want)
+	}
+}
+
+func TestIntraNodeIsFaster(t *testing.T) {
+	eng, f, _, at := setup(t)
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Src: 0, Dst: 2, Bytes: 64}, false) // same node
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	intra := (*at)[0]
+
+	eng2, f2, _, at2 := setup(t)
+	eng2.At(0, func() {
+		f2.Endpoint(0).Send(&Packet{Src: 0, Dst: 1, Bytes: 64}, false) // cross node
+	})
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if intra >= (*at2)[0] {
+		t.Fatalf("intra-node (%d) should beat inter-node (%d)", intra, (*at2)[0])
+	}
+}
+
+func TestBandwidthScalesWithSize(t *testing.T) {
+	measure := func(bytes int64) sim.Time {
+		eng, f, _, at := setup(t)
+		eng.At(0, func() {
+			f.Endpoint(0).Send(&Packet{Src: 0, Dst: 1, Bytes: bytes}, false)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return (*at)[0]
+	}
+	small, big := measure(1), measure(1<<20)
+	if big <= small {
+		t.Fatalf("1MB (%d) should take longer than 1B (%d)", big, small)
+	}
+	// 1 MB at 3.2 GB/s is ~312 us.
+	if big < 250_000 || big > 500_000 {
+		t.Fatalf("1MB arrival %dns outside QDR envelope", big)
+	}
+}
+
+func TestNICSerialization(t *testing.T) {
+	eng, f, got, at := setup(t)
+	eng.At(0, func() {
+		ep := f.Endpoint(0)
+		ep.Send(&Packet{Src: 0, Dst: 1, Bytes: 1 << 16}, false)
+		ep.Send(&Packet{Src: 0, Dst: 1, Bytes: 0}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d", len(*got))
+	}
+	// Second (tiny) packet must arrive after the first finished injecting,
+	// i.e. later than a lone tiny packet would.
+	lone := machine.Default().NetOverhead + machine.Default().NetLatency
+	second := (*at)[1]
+	if second <= lone {
+		t.Fatalf("NIC injection not serialized: second at %d, lone would be %d", second, lone)
+	}
+}
+
+func TestTxDoneLoopback(t *testing.T) {
+	eng, f, got, _ := setup(t)
+	handle := "req-7"
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Src: 0, Dst: 1, Bytes: 128, Handle: handle}, true)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("want TxDone + delivery, got %d packets", len(*got))
+	}
+	var tx, rx *Packet
+	for _, p := range *got {
+		if p.Kind == TxDone {
+			tx = p
+		} else {
+			rx = p
+		}
+	}
+	if tx == nil || rx == nil {
+		t.Fatal("missing TxDone or delivery")
+	}
+	if tx.Handle != handle {
+		t.Fatalf("TxDone handle = %v", tx.Handle)
+	}
+	if tx.Dst != 0 {
+		t.Fatal("TxDone must loop back to sender")
+	}
+}
+
+func TestTxDonePrecedesRemoteDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, machine.Default())
+	var order []string
+	f.Attach(0, 0, func(p *Packet) { order = append(order, "tx") })
+	f.Attach(1, 1, func(p *Packet) { order = append(order, "rx") })
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Src: 0, Dst: 1, Bytes: 4096}, true)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "tx" || order[1] != "rx" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEndpointStats(t *testing.T) {
+	eng, f, _, _ := setup(t)
+	eng.At(0, func() {
+		ep := f.Endpoint(0)
+		ep.Send(&Packet{Src: 0, Dst: 1, Bytes: 100}, false)
+		ep.Send(&Packet{Src: 0, Dst: 1, Bytes: 200}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ep := f.Endpoint(0)
+	if ep.PacketsSent != 2 || ep.BytesSent != 300 {
+		t.Fatalf("stats: %d packets %d bytes", ep.PacketsSent, ep.BytesSent)
+	}
+}
+
+func TestAttachOrderEnforced(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, machine.Default())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order attach should panic")
+		}
+	}()
+	f.Attach(3, 0, func(*Packet) {})
+}
+
+func TestPacketKindString(t *testing.T) {
+	if Eager.String() != "Eager" || TxDone.String() != "TxDone" {
+		t.Fatal("kind names changed")
+	}
+}
+
+// TestPerPairFIFOProperty: packets between one (src,dst) pair always
+// arrive in send order, regardless of sizes — the property MPI's
+// non-overtaking rule builds on.
+func TestPerPairFIFOProperty(t *testing.T) {
+	eng := sim.NewEngine(5)
+	f := New(eng, machine.Default())
+	var got []int
+	f.Attach(0, 0, func(p *Packet) {})
+	f.Attach(1, 1, func(p *Packet) { got = append(got, p.Handle.(int)) })
+	rng := sim.NewRand(9)
+	const n = 60
+	eng.Spawn("sender", func(th *sim.Thread) {
+		for i := 0; i < n; i++ {
+			th.Sleep(int64(rng.Intn(500)))
+			f.Endpoint(0).Send(&Packet{Src: 0, Dst: 1,
+				Bytes: int64(rng.Intn(100_000)), Handle: i}, false)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered at %d: %v", i, got[:i+1])
+		}
+	}
+}

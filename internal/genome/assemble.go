@@ -1,0 +1,389 @@
+package genome
+
+import (
+	"fmt"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi"
+	"mpicontend/internal/sim"
+	"mpicontend/internal/simlock"
+)
+
+// Params configures an assembly run.
+type Params struct {
+	Lock    simlock.Kind
+	Binding machine.Binding
+	// Procs is the number of MPI processes; the paper runs four per node
+	// with two threads each, filling all eight cores.
+	Procs        int
+	ProcsPerNode int
+	GenomeLen    int
+	ReadLen      int
+	Reads        int
+	K            int
+	Seed         uint64
+	// PerKmerNs is the compute cost per k-mer hashed/inserted.
+	PerKmerNs int64
+	// Batch is the number of k-mers per phase-1 message.
+	Batch int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Procs <= 0 {
+		p.Procs = 4
+	}
+	if p.ProcsPerNode <= 0 {
+		p.ProcsPerNode = 4
+	}
+	if p.GenomeLen <= 0 {
+		p.GenomeLen = 10000
+	}
+	if p.ReadLen <= 0 {
+		p.ReadLen = 36 // paper: 36-nucleotide reads
+	}
+	if p.Reads <= 0 {
+		p.Reads = 2000
+	}
+	if p.K <= 0 {
+		p.K = 21
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.PerKmerNs <= 0 {
+		p.PerKmerNs = 80
+	}
+	if p.Batch <= 0 {
+		p.Batch = 256
+	}
+	return p
+}
+
+// Result reports an assembly run.
+type Result struct {
+	SimNs       int64
+	Contigs     []string
+	TotalKmers  int64 // k-mer observations processed in phase 1
+	UniqueKmers int64
+	ContigBases int64
+	N50         int
+}
+
+// Message kinds for the two phases.
+const (
+	tagWork  = 1 // phase-1 batches, phase-2 queries and done markers
+	tagReply = 2 // phase-2 query replies (received by the walker thread)
+)
+
+type workMsg struct {
+	kind    int // 1=batch, 2=phase1 done, 3=query, 4=phase2 done
+	batch   []int64
+	query   Kmer
+	replyTo int
+}
+
+type replyMsg struct {
+	exists        bool
+	indeg, outdeg int
+	outBase       uint64
+}
+
+// procState is the shared two-thread state of one process.
+type procState struct {
+	rank  int
+	reads []string
+	shard *graphShard
+
+	phase1Done bool // receiver saw all done markers
+	phase2Done bool
+	barrier    *sim.Barrier
+
+	contigs []string
+}
+
+// Run executes the assembly benchmark.
+func Run(p Params) (Result, error) {
+	p = p.withDefaults()
+	var res Result
+
+	if p.ProcsPerNode > p.Procs {
+		p.ProcsPerNode = p.Procs // a partially filled single node
+	}
+	nodes := (p.Procs + p.ProcsPerNode - 1) / p.ProcsPerNode
+	w, err := mpi.NewWorld(mpi.Config{
+		Topo:         machine.Nehalem2x4(nodes),
+		Lock:         p.Lock,
+		Binding:      p.Binding,
+		ProcsPerNode: p.ProcsPerNode,
+		Seed:         p.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	c := w.Comm()
+
+	genome := SynthesizeGenome(p.GenomeLen, p.Seed)
+	reads := SampleReads(genome, p.ReadLen, p.Reads, p.Seed)
+
+	states := make([]*procState, p.Procs)
+	for r := 0; r < p.Procs; r++ {
+		st := &procState{
+			rank:    r,
+			shard:   newShard(),
+			barrier: &sim.Barrier{N: 2, Release: 200},
+		}
+		for i := r; i < len(reads); i += p.Procs {
+			st.reads = append(st.reads, reads[i])
+		}
+		states[r] = st
+	}
+
+	var endAt int64
+	for r := 0; r < p.Procs; r++ {
+		st := states[r]
+		w.Spawn(r, "walker", func(th *mpi.Thread) {
+			senderThread(th, c, p, st)
+			if th.S.Now() > endAt {
+				endAt = th.S.Now()
+			}
+		})
+		w.Spawn(r, "server", func(th *mpi.Thread) {
+			receiverThread(th, c, p, st)
+			if th.S.Now() > endAt {
+				endAt = th.S.Now()
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		return res, fmt.Errorf("genome(%v,%d procs): %w", p.Lock, p.Procs, err)
+	}
+
+	res.SimNs = endAt
+	for _, st := range states {
+		res.Contigs = append(res.Contigs, st.contigs...)
+		res.UniqueKmers += int64(len(st.shard.nodes))
+		for _, n := range st.shard.nodes {
+			res.TotalKmers += int64(n.count)
+		}
+	}
+	lens := make([]int, 0, len(res.Contigs))
+	for _, s := range res.Contigs {
+		res.ContigBases += int64(len(s))
+		lens = append(lens, len(s))
+	}
+	res.N50 = n50(lens, res.ContigBases)
+	return res, nil
+}
+
+// n50 computes the standard N50 contig length statistic.
+func n50(lens []int, total int64) int {
+	// Insertion sort descending (contig lists are small).
+	for i := 1; i < len(lens); i++ {
+		for j := i; j > 0 && lens[j] > lens[j-1]; j-- {
+			lens[j], lens[j-1] = lens[j-1], lens[j]
+		}
+	}
+	var acc int64
+	for _, l := range lens {
+		acc += int64(l)
+		if acc*2 >= total {
+			return l
+		}
+	}
+	return 0
+}
+
+// senderThread is the process's sending thread: phase 1 decomposes local
+// reads into k-mers and ships them to their owners in batches with blocking
+// sends; phase 2 walks unitig chains, querying remote shards.
+func senderThread(th *mpi.Thread, c *mpi.Comm, p Params, st *procState) {
+	k := p.K
+	rank := st.rank
+	batches := make([][]int64, p.Procs)
+
+	flush := func(dst int) {
+		if len(batches[dst]) == 0 {
+			return
+		}
+		msg := &workMsg{kind: 1, batch: batches[dst]}
+		th.Send(c, dst, tagWork, int64(len(batches[dst])*9), msg)
+		batches[dst] = nil
+	}
+
+	// Phase 1: k-mer extraction and distribution.
+	var kmers int64
+	for _, read := range st.reads {
+		if len(read) < k {
+			continue
+		}
+		m := PackKmer(read, k)
+		for i := 0; ; i++ {
+			prev := int8(-1)
+			if i > 0 {
+				prev = int8(baseCode(read[i-1]))
+			}
+			next := int8(-1)
+			if i+k < len(read) {
+				next = int8(baseCode(read[i+k]))
+			}
+			kmers++
+			dst := m.Owner(p.Procs)
+			batches[dst] = append(batches[dst], int64(m), int64(prev)<<8|int64(uint8(next)))
+			if len(batches[dst]) >= 2*p.Batch {
+				th.S.Sleep(int64(p.Batch) * p.PerKmerNs)
+				flush(dst)
+			}
+			if i+k >= len(read) {
+				break
+			}
+			m = m.Shift(baseCode(read[i+k]), k)
+		}
+	}
+	for dst := range batches {
+		th.S.Sleep(int64(len(batches[dst])/2) * p.PerKmerNs)
+		flush(dst)
+	}
+	for dst := 0; dst < p.Procs; dst++ {
+		th.Send(c, dst, tagWork, 8, &workMsg{kind: 2})
+	}
+	// Wait for the local receiver to finish phase 1, then synchronize all
+	// processes so every shard is complete before walking.
+	st.barrier.Wait(th.S)
+	th.Barrier(c)
+	st.barrier.Wait(th.S)
+
+	// Phase 2: walk unitig chains from local heads.
+	lookup := func(m Kmer) (replyMsg, bool) {
+		owner := m.Owner(p.Procs)
+		if owner == rank {
+			n := st.shard.nodes[m]
+			if n == nil {
+				return replyMsg{}, false
+			}
+			return replyMsg{exists: true, indeg: popcount4(n.inEdges),
+				outdeg: popcount4(n.outEdges), outBase: safeOutBase(n)}, true
+		}
+		th.Send(c, owner, tagWork, 16, &workMsg{kind: 3, query: m, replyTo: rank})
+		r := th.Recv(c, owner, tagReply).(*replyMsg)
+		return *r, r.exists
+	}
+	maxLen := p.GenomeLen + p.K
+	// Deterministic iteration order (Go map order is randomized, which
+	// would break simulation reproducibility).
+	keys := make([]Kmer, 0, len(st.shard.nodes))
+	for m := range st.shard.nodes {
+		keys = append(keys, m)
+	}
+	sortKmers(keys)
+	for _, m := range keys {
+		n := st.shard.nodes[m]
+		indeg := popcount4(n.inEdges)
+		outdeg := popcount4(n.outEdges)
+		if indeg == 1 {
+			// Chain-internal — unless the single predecessor branches,
+			// in which case this node heads a post-branch chain.
+			prevBase := uint64(0)
+			for i := uint64(0); i < 4; i++ {
+				if n.inEdges&(1<<i) != 0 {
+					prevBase = i
+				}
+			}
+			predK := Kmer(prevBase<<uint(2*(p.K-1)) | uint64(m)>>2)
+			info, ok := lookup(predK)
+			if ok && info.outdeg == 1 {
+				continue // true chain-internal node
+			}
+		}
+		contig := []byte(m.String(p.K))
+		cur := m
+		curOut := outdeg
+		curBase := safeOutBase(n)
+		for curOut == 1 && len(contig) < maxLen {
+			nextK := cur.Shift(curBase, p.K)
+			info, ok := lookup(nextK)
+			if !ok || info.indeg != 1 {
+				break
+			}
+			contig = append(contig, baseAlphabet[curBase])
+			th.S.Sleep(p.PerKmerNs)
+			cur = nextK
+			curOut = info.outdeg
+			curBase = info.outBase
+		}
+		st.contigs = append(st.contigs, string(contig))
+	}
+	// Tell every server the walker is done.
+	for dst := 0; dst < p.Procs; dst++ {
+		th.Send(c, dst, tagWork, 8, &workMsg{kind: 4})
+	}
+	st.barrier.Wait(th.S) // join the server before returning
+}
+
+// sortKmers sorts in place ascending (simple shell sort; stdlib sort would
+// also do, this keeps the hot path allocation-free).
+func sortKmers(ks []Kmer) {
+	for gap := len(ks) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(ks); i++ {
+			for j := i; j >= gap && ks[j-gap] > ks[j]; j -= gap {
+				ks[j], ks[j-gap] = ks[j-gap], ks[j]
+			}
+		}
+	}
+}
+
+// safeOutBase returns the out base when the out degree is 1, else 0.
+func safeOutBase(n *node) uint64 {
+	if popcount4(n.outEdges) == 1 {
+		return n.outBase()
+	}
+	return 0
+}
+
+// receiverThread is the process's receiving thread: it serves phase-1
+// batch inserts, then phase-2 chain queries, with blocking receives.
+func receiverThread(th *mpi.Thread, c *mpi.Comm, p Params, st *procState) {
+	// Phase 1: insert batches until every process said done.
+	dones := 0
+	for dones < p.Procs {
+		v := th.Recv(c, mpi.AnySource, tagWork).(*workMsg)
+		switch v.kind {
+		case 1:
+			th.S.Sleep(int64(len(v.batch)/2) * p.PerKmerNs)
+			for i := 0; i+1 < len(v.batch); i += 2 {
+				m := Kmer(v.batch[i])
+				prev := int8(v.batch[i+1] >> 8)
+				next := int8(uint8(v.batch[i+1]))
+				st.shard.insert(m, prev, next)
+			}
+		case 2:
+			dones++
+		default:
+			panic("genome: phase-2 message during phase 1")
+		}
+	}
+	st.phase1Done = true
+	st.barrier.Wait(th.S) // local sender may proceed to the global barrier
+	st.barrier.Wait(th.S) // global barrier done; phase 2 begins
+
+	// Phase 2: serve queries until every walker said done.
+	dones = 0
+	for dones < p.Procs {
+		v := th.Recv(c, mpi.AnySource, tagWork).(*workMsg)
+		switch v.kind {
+		case 3:
+			th.S.Sleep(p.PerKmerNs)
+			var r replyMsg
+			if n := st.shard.nodes[v.query]; n != nil {
+				r = replyMsg{exists: true, indeg: popcount4(n.inEdges),
+					outdeg: popcount4(n.outEdges), outBase: safeOutBase(n)}
+			}
+			th.Send(c, v.replyTo, tagReply, 16, &r)
+		case 4:
+			dones++
+		default:
+			panic("genome: unexpected phase-1 message during phase 2")
+		}
+	}
+	st.phase2Done = true
+	st.barrier.Wait(th.S)
+}

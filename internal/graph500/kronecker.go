@@ -1,0 +1,157 @@
+// Package graph500 implements the Graph500 BFS benchmark (paper §6.2.1)
+// over the simulated MPI runtime: a Kronecker (R-MAT) graph generator, a
+// 1-D partitioned CSR representation, and the hybrid MPI+threads
+// level-synchronized BFS whose threads cooperate on computation and
+// communicate independently with MPI_Test polling, after the reference
+// design the paper extends.
+package graph500
+
+import "mpicontend/internal/sim"
+
+// Kronecker initiator probabilities (Graph500 specification).
+const (
+	initA = 0.57
+	initB = 0.19
+	initC = 0.19
+)
+
+// Edge is an undirected graph edge.
+type Edge struct {
+	U, V int64
+}
+
+// GenerateKronecker produces an R-MAT edge list with 2^scale vertices and
+// edgefactor*2^scale edges, using the Graph500 initiator matrix. Vertex
+// labels are scrambled by a fixed permutation polynomial so degree does not
+// correlate with label.
+func GenerateKronecker(scale, edgefactor int, seed uint64) []Edge {
+	n := int64(1) << uint(scale)
+	m := int64(edgefactor) * n
+	rng := sim.NewRand(seed)
+	edges := make([]Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int64
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			var ubit, vbit int64
+			switch {
+			case r < initA:
+				// quadrant a: (0,0)
+			case r < initA+initB:
+				vbit = 1
+			case r < initA+initB+initC:
+				ubit = 1
+			default:
+				ubit, vbit = 1, 1
+			}
+			u = u<<1 | ubit
+			v = v<<1 | vbit
+		}
+		edges = append(edges, Edge{U: scramble(u, n), V: scramble(v, n)})
+	}
+	return edges
+}
+
+// scramble permutes vertex labels within [0, n) (n a power of two) using a
+// fixed odd multiplier, decorrelating label and degree.
+func scramble(v, n int64) int64 {
+	return (v*0x27220A95 + 0x3C6EF35F) & (n - 1)
+}
+
+// CSR is a compressed sparse row adjacency structure over global vertex ids.
+type CSR struct {
+	N       int64   // global vertex count
+	Offsets []int64 // len = rows+1, indexed by local row
+	Targets []int64 // neighbor global ids
+	RowBase int64   // global id of local row 0
+	Rows    int64   // number of local rows
+}
+
+// Degree returns the degree of local row r.
+func (g *CSR) Degree(r int64) int64 { return g.Offsets[r+1] - g.Offsets[r] }
+
+// Neighbors returns the adjacency slice of local row r.
+func (g *CSR) Neighbors(r int64) []int64 {
+	return g.Targets[g.Offsets[r]:g.Offsets[r+1]]
+}
+
+// Partition describes a block 1-D vertex partition over nprocs ranks.
+type Partition struct {
+	N      int64
+	NProcs int
+	per    int64
+}
+
+// NewPartition creates a block partition of n vertices over nprocs ranks.
+func NewPartition(n int64, nprocs int) Partition {
+	per := (n + int64(nprocs) - 1) / int64(nprocs)
+	return Partition{N: n, NProcs: nprocs, per: per}
+}
+
+// Owner returns the rank owning global vertex v.
+func (p Partition) Owner(v int64) int {
+	o := int(v / p.per)
+	if o >= p.NProcs {
+		o = p.NProcs - 1
+	}
+	return o
+}
+
+// Base returns the first global vertex id owned by rank.
+func (p Partition) Base(rank int) int64 { return int64(rank) * p.per }
+
+// Count returns the number of vertices owned by rank.
+func (p Partition) Count(rank int) int64 {
+	base := p.Base(rank)
+	if base >= p.N {
+		return 0
+	}
+	end := base + p.per
+	if end > p.N {
+		end = p.N
+	}
+	return end - base
+}
+
+// BuildLocalCSR builds the CSR rows owned by rank from the full edge list,
+// inserting both directions of each undirected edge and dropping self
+// loops. Duplicate edges are kept (they only add scan work, as in the
+// reference implementation).
+func BuildLocalCSR(edges []Edge, part Partition, rank int) *CSR {
+	base := part.Base(rank)
+	rows := part.Count(rank)
+	deg := make([]int64, rows)
+	add := func(u, v int64) {
+		if part.Owner(u) == rank {
+			deg[u-base]++
+		}
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		add(e.U, e.V)
+		add(e.V, e.U)
+	}
+	offsets := make([]int64, rows+1)
+	for i := int64(0); i < rows; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	targets := make([]int64, offsets[rows])
+	fill := make([]int64, rows)
+	put := func(u, v int64) {
+		if part.Owner(u) == rank {
+			r := u - base
+			targets[offsets[r]+fill[r]] = v
+			fill[r]++
+		}
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		put(e.U, e.V)
+		put(e.V, e.U)
+	}
+	return &CSR{N: part.N, Offsets: offsets, Targets: targets, RowBase: base, Rows: rows}
+}

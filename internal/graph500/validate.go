@@ -1,0 +1,112 @@
+package graph500
+
+import "fmt"
+
+// Validate checks a BFS result against the Graph500 correctness rules:
+//
+//  1. the root is its own parent;
+//  2. every visited vertex has a visited parent;
+//  3. tree levels are consistent: depth(v) == depth(parent(v)) + 1;
+//  4. every tree edge (v, parent(v)) exists in the graph;
+//  5. every vertex reachable from the root was visited (checked by an
+//     independent sequential BFS over the edge list).
+func Validate(edges []Edge, root int64, res Result) error {
+	part := res.Part
+	n := part.N
+	parent := make([]int64, n)
+	for r, pp := range res.Parent {
+		base := part.Base(r)
+		copy(parent[base:base+int64(len(pp))], pp)
+	}
+	if parent[root] != root {
+		return fmt.Errorf("root %d has parent %d", root, parent[root])
+	}
+
+	// Adjacency sets for tree-edge checks and the reference BFS.
+	adj := make(map[int64][]int64)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+
+	// Depth assignment by walking parents with cycle detection.
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	var resolve func(v int64, hops int64) (int64, error)
+	resolve = func(v int64, hops int64) (int64, error) {
+		if depth[v] >= 0 {
+			return depth[v], nil
+		}
+		if hops > n {
+			return 0, fmt.Errorf("parent chain cycle at vertex %d", v)
+		}
+		p := parent[v]
+		if p < 0 {
+			return 0, fmt.Errorf("visited vertex %d has unvisited parent chain", v)
+		}
+		d, err := resolve(p, hops+1)
+		if err != nil {
+			return 0, err
+		}
+		depth[v] = d + 1
+		return depth[v], nil
+	}
+	visitedCount := int64(0)
+	for v := int64(0); v < n; v++ {
+		if parent[v] < 0 {
+			continue
+		}
+		visitedCount++
+		if _, err := resolve(v, 0); err != nil {
+			return err
+		}
+		if v != root {
+			found := false
+			for _, u := range adj[v] {
+				if u == parent[v] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("tree edge (%d,%d) not in graph", v, parent[v])
+			}
+			if depth[v] != depth[parent[v]]+1 {
+				return fmt.Errorf("vertex %d at depth %d, parent at %d",
+					v, depth[v], depth[parent[v]])
+			}
+		}
+	}
+
+	// Reference reachability.
+	ref := make([]bool, n)
+	ref[root] = true
+	queue := []int64{root}
+	reachable := int64(0)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		reachable++
+		for _, v := range adj[u] {
+			if !ref[v] {
+				ref[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	if visitedCount != reachable {
+		return fmt.Errorf("visited %d vertices, %d reachable", visitedCount, reachable)
+	}
+	for v := int64(0); v < n; v++ {
+		if ref[v] != (parent[v] >= 0) {
+			return fmt.Errorf("vertex %d reachability mismatch", v)
+		}
+	}
+	return nil
+}

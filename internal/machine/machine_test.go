@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNehalemPreset(t *testing.T) {
+	topo := Nehalem2x4(310)
+	if topo.CoresPerNode() != 8 {
+		t.Fatalf("cores per node = %d, want 8", topo.CoresPerNode())
+	}
+	if topo.TotalCores() != 2480 {
+		t.Fatalf("total cores = %d, want 2480", topo.TotalCores())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{Nodes: 0, SocketsPerNode: 2, CoresPerSocket: 4},
+		{Nodes: 1, SocketsPerNode: 0, CoresPerSocket: 4},
+		{Nodes: 1, SocketsPerNode: 2, CoresPerSocket: -1},
+	}
+	for _, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", tp)
+		}
+	}
+}
+
+func TestPlaceOf(t *testing.T) {
+	topo := Nehalem2x4(2)
+	cases := []struct {
+		local int
+		want  Place
+	}{
+		{0, Place{0, 0, 0}},
+		{3, Place{0, 0, 3}},
+		{4, Place{0, 1, 0}},
+		{7, Place{0, 1, 3}},
+	}
+	for _, c := range cases {
+		if got := topo.PlaceOf(0, c.local); got != c.want {
+			t.Fatalf("PlaceOf(0,%d) = %v, want %v", c.local, got, c.want)
+		}
+	}
+}
+
+func TestCompactBinding(t *testing.T) {
+	topo := Nehalem2x4(1)
+	// Paper §4: "bind the first four threads to cores on the first socket
+	// and the rest to cores on the second".
+	for i := 0; i < 8; i++ {
+		p := topo.Bind(Compact, 0, 0, 8, i)
+		wantSocket := 0
+		if i >= 4 {
+			wantSocket = 1
+		}
+		if p.Socket != wantSocket {
+			t.Fatalf("compact thread %d on socket %d, want %d", i, p.Socket, wantSocket)
+		}
+	}
+}
+
+func TestScatterBinding(t *testing.T) {
+	topo := Nehalem2x4(1)
+	// Scatter alternates sockets: 0,1,0,1,...
+	for i := 0; i < 8; i++ {
+		p := topo.Bind(Scatter, 0, 0, 8, i)
+		if p.Socket != i%2 {
+			t.Fatalf("scatter thread %d on socket %d, want %d", i, p.Socket, i%2)
+		}
+	}
+}
+
+func TestScatterBindingDistinctCores(t *testing.T) {
+	topo := Nehalem2x4(1)
+	seen := map[Place]bool{}
+	for i := 0; i < 8; i++ {
+		p := topo.Bind(Scatter, 0, 0, 8, i)
+		if seen[p] {
+			t.Fatalf("scatter reused core %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestBindSubsetAllotment(t *testing.T) {
+	topo := Nehalem2x4(1)
+	// One process per socket: process 1 owns cores 4..7.
+	for i := 0; i < 4; i++ {
+		p := topo.Bind(Compact, 0, 4, 4, i)
+		if p.Socket != 1 {
+			t.Fatalf("thread %d escaped its socket: %v", i, p)
+		}
+	}
+}
+
+func TestBindOversubscriptionWraps(t *testing.T) {
+	topo := Nehalem2x4(1)
+	a := topo.Bind(Compact, 0, 0, 4, 0)
+	b := topo.Bind(Compact, 0, 0, 4, 4)
+	if a != b {
+		t.Fatalf("oversubscribed thread did not wrap: %v vs %v", a, b)
+	}
+}
+
+func TestTransferHierarchy(t *testing.T) {
+	cm := Default()
+	a := Place{0, 0, 0}
+	sameSocket := Place{0, 0, 1}
+	crossSocket := Place{0, 1, 0}
+	if !(cm.Transfer(a, a) < cm.Transfer(a, sameSocket)) {
+		t.Fatal("same-core should be cheaper than same-socket")
+	}
+	if !(cm.Transfer(a, sameSocket) < cm.Transfer(a, crossSocket)) {
+		t.Fatal("same-socket should be cheaper than cross-socket")
+	}
+}
+
+func TestTransferSymmetryProperty(t *testing.T) {
+	cm := Default()
+	topo := Nehalem2x4(2)
+	f := func(an, al, bn, bl uint8) bool {
+		a := topo.PlaceOf(int(an)%2, int(al)%8)
+		b := topo.PlaceOf(int(bn)%2, int(bl)%8)
+		return cm.Transfer(a, b) == cm.Transfer(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyTimeMonotone(t *testing.T) {
+	cm := Default()
+	if cm.CopyTime(0) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+	prev := int64(0)
+	for _, n := range []int64{1, 64, 4096, 1 << 20} {
+		ct := cm.CopyTime(n)
+		if ct < prev {
+			t.Fatalf("CopyTime not monotone at %d bytes", n)
+		}
+		prev = ct
+	}
+	if cm.CopyTime(1) < 1 {
+		t.Fatal("nonzero copy should cost at least 1ns")
+	}
+}
+
+func TestTable1Spec(t *testing.T) {
+	s := Table1(Nehalem2x4(310))
+	if s.Sockets != 2 || s.CoresPerSocket != 4 || s.Nodes != 310 {
+		t.Fatalf("spec mismatch: %+v", s)
+	}
+	out := s.String()
+	if len(out) == 0 {
+		t.Fatal("empty spec rendering")
+	}
+}
+
+func TestPlaceString(t *testing.T) {
+	p := Place{Node: 1, Socket: 0, Core: 3}
+	if p.String() != "n1.s0.c3" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestBindingString(t *testing.T) {
+	if Compact.String() != "compact" || Scatter.String() != "scatter" {
+		t.Fatal("binding names changed")
+	}
+}

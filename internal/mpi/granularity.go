@@ -1,0 +1,214 @@
+package mpi
+
+import (
+	"mpicontend/internal/fabric"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+)
+
+// Granularity selects the critical-section granularity of the runtime,
+// after the paper's Fig. 1. Arbitration (Config.Lock) is the orthogonal
+// dimension; §7 proposes studying their combination, which the
+// "ablation-granularity" experiment does.
+type Granularity int
+
+const (
+	// GranGlobal guards every call with one global critical section —
+	// the paper's baseline and the subject of its analysis.
+	GranGlobal Granularity = iota
+	// GranBrief ("Brief Global", Fig. 1) shrinks the global section to
+	// the queue/state updates; the rest of the main path runs outside.
+	GranBrief
+	// GranFine uses separate locks for the matching queues and the
+	// network completion path, so injection and matching can overlap.
+	GranFine
+	// GranLockFree models idealized atomic queues: no mutual exclusion,
+	// only per-operation atomic costs (Fig. 1's rightmost column; real
+	// implementations use this only for reference counts).
+	GranLockFree
+)
+
+// String names the granularity as in Fig. 1.
+func (g Granularity) String() string {
+	switch g {
+	case GranGlobal:
+		return "Global"
+	case GranBrief:
+		return "BriefGlobal"
+	case GranFine:
+		return "FineGrain"
+	case GranLockFree:
+		return "LockFree"
+	default:
+		return "Granularity(?)"
+	}
+}
+
+// csLock pairs a lock with the runtime-state cache lines that follow its
+// owner between cores: acquiring after a different core pays the line
+// transfers.
+type csLock struct {
+	lock       simlock.Lock
+	lines      int64
+	owner      machine.Place
+	ownerValid bool
+}
+
+func (c *csLock) enter(th *Thread, cl simlock.Class) {
+	c.lock.Acquire(&th.lctx, cl)
+	cost := th.cost()
+	if c.ownerValid && c.owner != th.lctx.Place && c.lines > 0 {
+		th.S.Sleep(c.lines * cost.Transfer(c.owner, th.lctx.Place))
+	}
+	c.owner = th.lctx.Place
+	c.ownerValid = true
+}
+
+func (c *csLock) exit(th *Thread, cl simlock.Class) {
+	c.lock.Release(&th.lctx, cl)
+}
+
+// briefCSWork is the slice of the main path that stays inside the critical
+// section under GranBrief/GranFine (the queue update itself).
+const briefCSWork = 60
+
+// mainBegin opens an MPI call's main-path state section, charging the
+// main-path work split according to the granularity. Callers must pair it
+// with mainEnd.
+func (th *Thread) mainBegin() {
+	th.checkThreadLevel()
+	cost := th.cost()
+	p := th.P
+	switch p.w.Cfg.Granularity {
+	case GranGlobal:
+		p.cs.enter(th, simlock.High)
+		th.S.Sleep(cost.MainPathWork)
+	case GranBrief:
+		th.S.Sleep(cost.MainPathWork - briefCSWork)
+		p.cs.enter(th, simlock.High)
+		th.S.Sleep(briefCSWork)
+	case GranFine:
+		th.S.Sleep(cost.MainPathWork - briefCSWork)
+		p.queueCS.enter(th, simlock.High)
+		th.S.Sleep(briefCSWork)
+	case GranLockFree:
+		th.S.Sleep(cost.MainPathWork + 2*cost.AtomicOpCost)
+	}
+}
+
+// mainEnd closes the section opened by mainBegin.
+func (th *Thread) mainEnd() {
+	p := th.P
+	switch p.w.Cfg.Granularity {
+	case GranGlobal, GranBrief:
+		p.cs.exit(th, simlock.High)
+	case GranFine:
+		p.queueCS.exit(th, simlock.High)
+	case GranLockFree:
+	}
+	th.exitThreadLevel()
+}
+
+// stateBegin opens a short request-state section (completion checks,
+// frees) without charging main-path work.
+func (th *Thread) stateBegin(cl simlock.Class) {
+	th.checkThreadLevel()
+	p := th.P
+	switch p.w.Cfg.Granularity {
+	case GranGlobal, GranBrief:
+		p.cs.enter(th, cl)
+	case GranFine:
+		p.queueCS.enter(th, cl)
+	case GranLockFree:
+		th.S.Sleep(th.cost().AtomicOpCost)
+	}
+}
+
+// stateEnd closes a stateBegin section.
+func (th *Thread) stateEnd(cl simlock.Class) {
+	p := th.P
+	switch p.w.Cfg.Granularity {
+	case GranGlobal, GranBrief:
+		p.cs.exit(th, cl)
+	case GranFine:
+		p.queueCS.exit(th, cl)
+	case GranLockFree:
+	}
+	th.exitThreadLevel()
+}
+
+// progressRound runs one progress-engine iteration with the granularity's
+// locking: under Global/Brief the whole poll holds the global CS (the
+// paper's progress loop); under Fine the completion queue is drained under
+// the NIC lock and each event is handled under the queue lock; under
+// LockFree only atomic costs are charged. cl is the scheduling class used
+// for global-CS acquisition (Low in blocking progress loops, High in
+// MPI_Test). If post is non-nil it runs under request-state protection —
+// inside the same critical-section hold where the granularity allows —
+// letting callers check and free requests as MPICH's progress loop does.
+func (th *Thread) progressRound(cl simlock.Class, post func()) {
+	th.checkThreadLevel()
+	defer th.exitThreadLevel()
+	p := th.P
+	cost := th.cost()
+	switch p.w.Cfg.Granularity {
+	case GranGlobal, GranBrief:
+		p.cs.enter(th, cl)
+		p.pollOnce(th)
+		if post != nil {
+			post()
+		}
+		p.cs.exit(th, cl)
+	case GranFine:
+		p.nicCS.enter(th, cl)
+		th.S.Sleep(cost.ProgressPollWork)
+		p.Polls++
+		var pkts []*fabric.Packet
+		for len(p.cq) > 0 && len(pkts) < maxEventsPerPoll {
+			pkts = append(pkts, p.cq[0])
+			p.cq = p.cq[1:]
+		}
+		p.nicCS.exit(th, cl)
+		if len(pkts) == 0 {
+			th.pollBackoff++
+			if post != nil {
+				p.queueCS.enter(th, cl)
+				post()
+				p.queueCS.exit(th, cl)
+			}
+			return
+		}
+		th.pollBackoff = 0
+		for _, pkt := range pkts {
+			p.queueCS.enter(th, cl)
+			th.S.Sleep(cost.ProgressHandleWork)
+			p.handlePacket(th, pkt)
+			p.queueCS.exit(th, cl)
+		}
+		if post != nil {
+			p.queueCS.enter(th, cl)
+			post()
+			p.queueCS.exit(th, cl)
+		}
+	case GranLockFree:
+		th.S.Sleep(cost.ProgressPollWork + cost.AtomicOpCost)
+		p.Polls++
+		handled := 0
+		for len(p.cq) > 0 && handled < maxEventsPerPoll {
+			pkt := p.cq[0]
+			p.cq = p.cq[1:]
+			th.S.Sleep(cost.ProgressHandleWork + cost.AtomicOpCost)
+			p.handlePacket(th, pkt)
+			handled++
+		}
+		if handled > 0 {
+			th.pollBackoff = 0
+		} else {
+			th.pollBackoff++
+		}
+		if post != nil {
+			th.S.Sleep(cost.AtomicOpCost)
+			post()
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+)
+
+func granWorld(t *testing.T, g Granularity, k simlock.Kind) *World {
+	t.Helper()
+	w, err := NewWorld(Config{
+		Topo:        machine.Nehalem2x4(2),
+		Lock:        k,
+		Granularity: g,
+		Seed:        777,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+var allGrans = []Granularity{GranGlobal, GranBrief, GranFine, GranLockFree}
+
+// TestGranularityCorrectness runs the windowed exchange under every
+// granularity x a few arbitrations and checks full completion.
+func TestGranularityCorrectness(t *testing.T) {
+	for _, g := range allGrans {
+		for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority} {
+			g, k := g, k
+			t.Run(g.String()+"/"+k.String(), func(t *testing.T) {
+				w := granWorld(t, g, k)
+				c := w.Comm()
+				for i := 0; i < 4; i++ {
+					w.Spawn(0, "s", func(th *Thread) {
+						var rs []*Request
+						for j := 0; j < 24; j++ {
+							rs = append(rs, th.Isend(c, 1, 0, 8, j))
+						}
+						th.Waitall(rs)
+					})
+					w.Spawn(1, "r", func(th *Thread) {
+						var rs []*Request
+						for j := 0; j < 24; j++ {
+							rs = append(rs, th.Irecv(c, 0, 0))
+						}
+						th.Waitall(rs)
+					})
+				}
+				if err := w.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if w.DanglingNow() != 0 {
+					t.Fatalf("dangling: %d", w.DanglingNow())
+				}
+			})
+		}
+	}
+}
+
+// TestGranularityPayloadDelivery checks data still arrives intact under
+// fine and lock-free modes.
+func TestGranularityPayloadDelivery(t *testing.T) {
+	for _, g := range []Granularity{GranFine, GranLockFree} {
+		w := granWorld(t, g, simlock.KindTicket)
+		c := w.Comm()
+		var got []interface{}
+		w.Spawn(0, "s", func(th *Thread) {
+			for i := 0; i < 8; i++ {
+				th.Send(c, 1, i, 16, i*i)
+			}
+		})
+		w.Spawn(1, "r", func(th *Thread) {
+			for i := 0; i < 8; i++ {
+				got = append(got, th.Recv(c, 0, i))
+			}
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("%v: got[%d] = %v", g, i, v)
+			}
+		}
+	}
+}
+
+// TestGranularityRendezvous exercises the large-message path under every
+// granularity.
+func TestGranularityRendezvous(t *testing.T) {
+	for _, g := range allGrans {
+		w := granWorld(t, g, simlock.KindTicket)
+		c := w.Comm()
+		big := w.Cfg.Cost.EagerThreshold * 2
+		var ok bool
+		w.Spawn(0, "s", func(th *Thread) { th.Send(c, 1, 0, big, "bulk") })
+		w.Spawn(1, "r", func(th *Thread) { ok = th.Recv(c, 0, 0) == "bulk" })
+		if err := w.Run(); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !ok {
+			t.Fatalf("%v: payload lost", g)
+		}
+	}
+}
+
+// TestGranularityRMA exercises one-sided ops with async progress under
+// fine granularity.
+func TestGranularityRMA(t *testing.T) {
+	for _, g := range allGrans {
+		w := granWorld(t, g, simlock.KindMutex)
+		win := w.NewWin(8)
+		w.SpawnAsyncProgress(1)
+		w.Spawn(0, "o", func(th *Thread) {
+			r := th.Put(win, 1, 0, []float64{3.5})
+			th.Flush(win, []*Request{r})
+		})
+		if err := w.Run(); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if win.Buffer(1)[0] != 3.5 {
+			t.Fatalf("%v: put lost", g)
+		}
+	}
+}
+
+// TestGranularityThroughputOrdering: coarser critical sections serialize
+// more; with 8 threads the finish time should not get worse as granularity
+// shrinks from Global to LockFree.
+func TestGranularityThroughputOrdering(t *testing.T) {
+	finish := map[Granularity]int64{}
+	for _, g := range allGrans {
+		w := granWorld(t, g, simlock.KindTicket)
+		c := w.Comm()
+		for i := 0; i < 8; i++ {
+			w.Spawn(0, "s", func(th *Thread) {
+				var rs []*Request
+				for j := 0; j < 32; j++ {
+					th.S.Sleep(300)
+					rs = append(rs, th.Isend(c, 1, 0, 8, nil))
+				}
+				th.Waitall(rs)
+			})
+			w.Spawn(1, "r", func(th *Thread) {
+				var rs []*Request
+				for j := 0; j < 32; j++ {
+					th.S.Sleep(300)
+					rs = append(rs, th.Irecv(c, 0, 0))
+				}
+				th.Waitall(rs)
+			})
+		}
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		finish[g] = w.Eng.Now()
+	}
+	t.Logf("finish times: global=%d brief=%d fine=%d lockfree=%d",
+		finish[GranGlobal], finish[GranBrief], finish[GranFine], finish[GranLockFree])
+	if finish[GranLockFree] >= finish[GranGlobal] {
+		t.Errorf("lock-free (%d) should beat global (%d)",
+			finish[GranLockFree], finish[GranGlobal])
+	}
+	if finish[GranFine] >= finish[GranGlobal] {
+		t.Errorf("fine-grained (%d) should beat global (%d)",
+			finish[GranFine], finish[GranGlobal])
+	}
+}
+
+func TestGranularityStrings(t *testing.T) {
+	want := map[Granularity]string{
+		GranGlobal: "Global", GranBrief: "BriefGlobal",
+		GranFine: "FineGrain", GranLockFree: "LockFree",
+	}
+	for g, s := range want {
+		if g.String() != s {
+			t.Fatalf("%d.String() = %q", g, g.String())
+		}
+	}
+}

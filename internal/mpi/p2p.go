@@ -1,0 +1,222 @@
+package mpi
+
+import (
+	"mpicontend/internal/fabric"
+	"mpicontend/internal/simlock"
+)
+
+// Isend starts a nonblocking send of a message with the given payload and
+// size to rank dst. Small messages go eagerly; large ones use rendezvous.
+// The main path runs inside the global critical section at high priority.
+func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{}) *Request {
+	p := th.P
+	cost := th.cost()
+	worldDst := c.world(dst)
+	th.mainBegin()
+	r := &Request{
+		p: p, kind: SendReq, dst: worldDst, src: p.Rank,
+		tag: tag, ctx: c.ctx, bytes: bytes, payload: payload,
+	}
+	p.outstanding++
+	meta := rtsMeta{src: c.rank(p.Rank), tag: tag, ctx: c.ctx, bytes: bytes}
+	if bytes <= cost.EagerThreshold {
+		p.ep.Send(&fabric.Packet{
+			Kind: fabric.Eager, Src: p.Rank, Dst: worldDst,
+			Bytes: bytes, Handle: r, Meta: meta, Payload: payload,
+		}, true)
+	} else {
+		r.rndv = true
+		p.ep.Send(&fabric.Packet{
+			Kind: fabric.RTS, Src: p.Rank, Dst: worldDst, Handle: r, Meta: meta,
+		}, false)
+	}
+	th.mainEnd()
+	return r
+}
+
+// Irecv posts a nonblocking receive for (src, tag) on the communicator.
+// If a matching message already sits in the unexpected queue it is consumed
+// immediately (the Fig. 3b "found in unexpected queue" transition).
+func (th *Thread) Irecv(c *Comm, src, tag int) *Request {
+	p := th.P
+	cost := th.cost()
+	th.mainBegin()
+	r := &Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx}
+	p.outstanding++
+	if e := p.matchUnexpected(th, src, tag, c.ctx); e != nil {
+		th.S.Sleep(cost.UnexpectedMatchOverhead)
+		r.bytes = e.bytes
+		if e.rndv {
+			// Late match of a rendezvous RTS: clear the sender to send.
+			p.ep.Send(&fabric.Packet{
+				Kind: fabric.CTS, Src: p.Rank, Dst: e.src,
+				Handle: e.senderReq, Meta: ctsMeta{recvReq: r},
+			}, false)
+		} else {
+			th.S.Sleep(cost.CopyTime(e.bytes)) // unexpected buffer -> user buffer
+			r.payload = e.payload
+			r.markComplete(th.S.Now())
+		}
+	} else {
+		p.posted = append(p.posted, r)
+	}
+	th.mainEnd()
+	return r
+}
+
+// Wait blocks until the request completes, then frees it. While waiting it
+// iterates the progress loop, yielding the critical section between polls
+// (low priority under the priority lock).
+func (th *Thread) Wait(r *Request) {
+	cost := th.cost()
+	th.stateBegin(simlock.High)
+	if r.complete {
+		th.S.Sleep(cost.RequestFreeWork)
+		r.free()
+		th.stateEnd(simlock.High)
+		return
+	}
+	th.stateEnd(simlock.High)
+	th.pollBackoff = 0
+	for {
+		done := false
+		th.progressRound(simlock.Low, func() {
+			if r.complete {
+				th.S.Sleep(cost.RequestFreeWork)
+				r.free()
+				done = true
+			}
+		})
+		if done {
+			return
+		}
+		th.progressYield()
+	}
+}
+
+// Waitall blocks until every request completes. Requests are freed as their
+// completion is detected, so a starving caller leaves its completed
+// requests dangling — the §4.4 effect.
+func (th *Thread) Waitall(rs []*Request) {
+	if len(rs) == 0 {
+		return
+	}
+	cost := th.cost()
+	remaining := len(rs)
+	pending := make([]*Request, len(rs))
+	copy(pending, rs)
+
+	reap := func() {
+		for i := 0; i < len(pending); {
+			if pending[i].complete {
+				th.S.Sleep(cost.RequestFreeWork)
+				pending[i].free()
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				remaining--
+			} else {
+				i++
+			}
+		}
+	}
+
+	th.stateBegin(simlock.High)
+	reap()
+	th.stateEnd(simlock.High)
+	if remaining == 0 {
+		return
+	}
+	th.pollBackoff = 0
+	for {
+		th.progressRound(simlock.Low, reap)
+		if remaining == 0 {
+			return
+		}
+		th.progressYield()
+	}
+}
+
+// Test polls the runtime once and reports whether the request completed;
+// if so, the request is freed. Test never enters the blocking progress
+// loop, so under the priority lock it always runs at high priority — the
+// paper's explanation for priority ≈ ticket in the Graph500/stencil runs.
+func (th *Thread) Test(r *Request) bool {
+	cost := th.cost()
+	done := false
+	th.progressRound(simlock.High, func() {
+		if r.complete {
+			th.S.Sleep(cost.RequestFreeWork)
+			r.free()
+			done = true
+		}
+	})
+	return done
+}
+
+// Testall polls once and frees/report-counts the completed requests,
+// removing them from rs in place; it returns the still-pending remainder.
+func (th *Thread) Testall(rs []*Request) []*Request {
+	cost := th.cost()
+	var out []*Request
+	th.progressRound(simlock.High, func() {
+		out = rs[:0]
+		for _, r := range rs {
+			if r.complete {
+				th.S.Sleep(cost.RequestFreeWork)
+				r.free()
+			} else {
+				out = append(out, r)
+			}
+		}
+	})
+	return out
+}
+
+// CancelRecv cancels a posted receive that has not matched, removing it
+// from the posted queue and releasing the request (MPI_Cancel semantics for
+// receives). It panics if the request already completed — the caller must
+// check Complete() first, inside its own synchronization.
+func (th *Thread) CancelRecv(r *Request) {
+	if r.kind != RecvReq {
+		panic("mpi: CancelRecv on a non-receive request")
+	}
+	p := th.P
+	cost := th.cost()
+	th.stateBegin(simlock.High)
+	th.S.Sleep(cost.RequestFreeWork)
+	if r.complete {
+		th.stateEnd(simlock.High)
+		panic("mpi: CancelRecv on a completed request")
+	}
+	for i, q := range p.posted {
+		if q == r {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			break
+		}
+	}
+	r.freed = true
+	p.outstanding--
+	th.stateEnd(simlock.High)
+}
+
+// Send is a blocking send (Isend + Wait).
+func (th *Thread) Send(c *Comm, dst, tag int, bytes int64, payload interface{}) {
+	th.Wait(th.Isend(c, dst, tag, bytes, payload))
+}
+
+// Recv is a blocking receive (Irecv + Wait); it returns the payload.
+func (th *Thread) Recv(c *Comm, src, tag int) interface{} {
+	r := th.Irecv(c, src, tag)
+	th.Wait(r)
+	return r.payload
+}
+
+// Sendrecv concurrently sends to dst and receives from src, blocking until
+// both complete. It returns the received payload.
+func (th *Thread) Sendrecv(c *Comm, dst, dtag int, bytes int64, payload interface{},
+	src, stag int) interface{} {
+	rr := th.Irecv(c, src, stag)
+	sr := th.Isend(c, dst, dtag, bytes, payload)
+	th.Waitall([]*Request{sr, rr})
+	return rr.payload
+}

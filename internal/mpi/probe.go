@@ -1,0 +1,108 @@
+package mpi
+
+import "mpicontend/internal/simlock"
+
+// Status describes a matched or probed message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int64
+}
+
+// Iprobe checks, without receiving, whether a message matching (src, tag)
+// is available (posted in the unexpected queue after one progress poll).
+// Like MPI_Iprobe it is an immediate call: under the priority lock it runs
+// at high priority. Related work (§8, Hoefler et al.) discusses why
+// probe+recv is inherently racy with multiple threads — that race exists
+// here too, by design: another thread may consume the probed message
+// before this thread posts its receive.
+func (th *Thread) Iprobe(c *Comm, src, tag int) (Status, bool) {
+	var st Status
+	found := false
+	th.progressRound(simlock.High, func() {
+		for _, e := range th.P.unexp {
+			if e.matches(src, tag, c.ctx) {
+				st = Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+				found = true
+				break
+			}
+		}
+	})
+	return st, found
+}
+
+// Probe blocks until a matching message is available and returns its
+// status, without receiving it.
+func (th *Thread) Probe(c *Comm, src, tag int) Status {
+	th.pollBackoff = 0
+	for {
+		if st, ok := th.Iprobe(c, src, tag); ok {
+			return st
+		}
+		th.progressYield()
+	}
+}
+
+// Waitany blocks until one of the requests completes, frees it, and
+// returns its index. It panics on an empty slice.
+func (th *Thread) Waitany(rs []*Request) int {
+	if len(rs) == 0 {
+		panic("mpi: Waitany on empty request list")
+	}
+	cost := th.cost()
+	idx := -1
+	check := func() {
+		for i, r := range rs {
+			if r != nil && r.complete {
+				th.S.Sleep(cost.RequestFreeWork)
+				r.free()
+				idx = i
+				return
+			}
+		}
+	}
+	th.stateBegin(simlock.High)
+	check()
+	th.stateEnd(simlock.High)
+	if idx >= 0 {
+		return idx
+	}
+	th.pollBackoff = 0
+	for {
+		th.progressRound(simlock.Low, check)
+		if idx >= 0 {
+			return idx
+		}
+		th.progressYield()
+	}
+}
+
+// Waitsome blocks until at least one request completes, frees all the
+// completed ones, and returns their indices.
+func (th *Thread) Waitsome(rs []*Request) []int {
+	cost := th.cost()
+	var done []int
+	reap := func() {
+		for i, r := range rs {
+			if r != nil && r.complete && !r.freed {
+				th.S.Sleep(cost.RequestFreeWork)
+				r.free()
+				done = append(done, i)
+			}
+		}
+	}
+	th.stateBegin(simlock.High)
+	reap()
+	th.stateEnd(simlock.High)
+	if len(done) > 0 {
+		return done
+	}
+	th.pollBackoff = 0
+	for {
+		th.progressRound(simlock.Low, reap)
+		if len(done) > 0 {
+			return done
+		}
+		th.progressYield()
+	}
+}

@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpicontend/internal/fabric"
+)
+
+// rtsMeta travels with eager and RTS packets. src is the communicator-
+// local source rank (matching is per communicator); the fabric packet's
+// Src stays the world rank for routing.
+type rtsMeta struct {
+	src, tag, ctx int
+	bytes         int64
+}
+
+// ctsMeta travels with a CTS packet (points back at the receive request the
+// payload should land in).
+type ctsMeta struct {
+	recvReq *Request
+}
+
+// maxEventsPerPoll bounds how many completion-queue events one progress
+// iteration handles while holding the critical section. MPICH processes a
+// small batch per progress call and releases the CS between iterations;
+// draining an arbitrary backlog in one hold would suppress exactly the
+// lock-cycling dynamics the paper studies.
+const maxEventsPerPoll = 2
+
+// pollOnce runs one iteration of the progress engine: it polls the network
+// completion queue and handles up to maxEventsPerPoll events. Must be
+// called with the process's critical section held; the costs it charges
+// are therefore serialized, which is the contention the paper studies.
+func (p *Proc) pollOnce(th *Thread) {
+	cost := th.cost()
+	th.S.Sleep(cost.ProgressPollWork)
+	p.Polls++
+	handled := 0
+	for len(p.cq) > 0 && handled < maxEventsPerPoll {
+		pkt := p.cq[0]
+		p.cq = p.cq[1:]
+		th.S.Sleep(cost.ProgressHandleWork)
+		p.handlePacket(th, pkt)
+		handled++
+	}
+	if handled > 0 {
+		th.pollBackoff = 0
+	} else {
+		th.pollBackoff++
+	}
+}
+
+// handlePacket processes one fabric event inside the CS.
+func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
+	cost := th.cost()
+	now := th.S.Now()
+	switch pkt.Kind {
+	case fabric.TxDone:
+		// NIC finished injecting a payload: the owning send request is
+		// complete (eager: buffer reusable; rendezvous: data shipped).
+		req := pkt.Handle.(*Request)
+		req.markComplete(now)
+
+	case fabric.Eager:
+		if r := p.matchPosted(th, pkt.Meta.(rtsMeta)); r != nil {
+			th.S.Sleep(cost.CopyTime(pkt.Bytes)) // copy into the user buffer
+			r.payload = pkt.Payload
+			r.markComplete(th.S.Now())
+			p.PostedHits++
+		} else {
+			// Buffer into the unexpected queue (allocate + temp copy).
+			th.S.Sleep(cost.UnexpectedOverhead + cost.CopyTime(pkt.Bytes))
+			m := pkt.Meta.(rtsMeta)
+			p.unexp = append(p.unexp, &envelope{
+				src: m.src, tag: m.tag, ctx: m.ctx,
+				bytes: pkt.Bytes, payload: pkt.Payload,
+				arrivedAt: th.S.Now(),
+			})
+		}
+
+	case fabric.RTS:
+		m := pkt.Meta.(rtsMeta)
+		if r := p.matchPosted(th, m); r != nil {
+			p.PostedHits++
+			r.bytes = m.bytes
+			p.ep.Send(&fabric.Packet{
+				Kind: fabric.CTS, Src: p.Rank, Dst: pkt.Src,
+				Handle: pkt.Handle, Meta: ctsMeta{recvReq: r},
+			}, false)
+		} else {
+			p.unexp = append(p.unexp, &envelope{
+				src: m.src, tag: m.tag, ctx: m.ctx,
+				bytes: m.bytes, rndv: true,
+				senderReq: pkt.Handle.(*Request), arrivedAt: now,
+			})
+		}
+
+	case fabric.CTS:
+		// Our RTS was matched: ship the payload. Sender request
+		// completes when injection finishes (TxDone).
+		sreq := pkt.Handle.(*Request)
+		p.ep.Send(&fabric.Packet{
+			Kind: fabric.RData, Src: p.Rank, Dst: sreq.dst,
+			Bytes: sreq.bytes, Handle: sreq, Meta: pkt.Meta,
+			Payload: sreq.payload,
+		}, true)
+
+	case fabric.RData:
+		// Rendezvous payload lands directly in the posted buffer.
+		r := pkt.Meta.(ctsMeta).recvReq
+		r.payload = pkt.Payload
+		r.markComplete(now)
+
+	case fabric.RMAPut, fabric.RMAGet, fabric.RMAGetReply, fabric.RMAAcc, fabric.RMAAck:
+		p.handleRMA(th, pkt)
+
+	default:
+		panic(fmt.Sprintf("mpi: unhandled packet kind %v", pkt.Kind))
+	}
+}
+
+// matchPosted scans the posted queue for a receive matching the arrival,
+// charging the per-item search cost, and removes and returns the match.
+func (p *Proc) matchPosted(th *Thread, m rtsMeta) *Request {
+	cost := th.cost()
+	for i, r := range p.posted {
+		if matchesRecv(r, m.src, m.tag, m.ctx) {
+			// Dequeue before charging time: the scan+remove is one
+			// atomic operation even in the lock-free granularity.
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			th.S.Sleep(cost.QueueSearchPerItem * int64(i+1))
+			return r
+		}
+	}
+	th.S.Sleep(cost.QueueSearchPerItem * int64(len(p.posted)+1))
+	return nil
+}
+
+// matchUnexpected scans the unexpected queue for a message satisfying the
+// receive (src, tag, ctx), charging search cost, removing the hit.
+func (p *Proc) matchUnexpected(th *Thread, src, tag, ctx int) *envelope {
+	cost := th.cost()
+	for i, e := range p.unexp {
+		if e.matches(src, tag, ctx) {
+			p.unexp = append(p.unexp[:i], p.unexp[i+1:]...)
+			th.S.Sleep(cost.QueueSearchPerItem * int64(i+1))
+			p.UnexpectedHits++
+			return e
+		}
+	}
+	th.S.Sleep(cost.QueueSearchPerItem * int64(len(p.unexp)+1))
+	return nil
+}
+
+// progressYield is the non-critical gap between progress-loop iterations
+// (the window in which other threads may win the lock): at full spinning
+// speed this is just the loop overhead, which is what lets a mutex holder
+// re-acquire before remote threads observe the release. Only after a long
+// streak of empty polls (an idle network, e.g. during a large rendezvous
+// transfer) does it back off geometrically, keeping simulated spinning
+// cheap without perturbing the contention dynamics under load.
+func (th *Thread) progressYield() {
+	cost := th.cost()
+	p := th.P
+	if p.w.Cfg.SelectiveWakeup && th.pollBackoff > 0 {
+		// Event-driven progress (§9): the last poll found nothing, so
+		// park until an arrival or completion wakes us. The emptiness
+		// check is adjacent to the park (no virtual-time gap), so no
+		// wake-up can be lost.
+		if len(p.cq) == 0 {
+			p.activity.Wait(th.S)
+		}
+		th.pollBackoff = 0
+		th.S.Sleep(cost.ProgressLoopOverhead)
+		return
+	}
+	base := cost.ProgressLoopOverhead
+	if j := cost.YieldJitter; j > 0 {
+		base += th.P.w.Eng.Rand().Int63n(j + 1)
+	}
+	if s := th.pollBackoff - emptyPollGrace; s > 0 && !th.noBackoff {
+		if s > 6 {
+			s = 6
+		}
+		base <<= uint(s)
+	}
+	th.S.Sleep(base)
+}
+
+// emptyPollGrace is how many consecutive empty polls a spinning thread
+// tolerates before backing off its loop.
+const emptyPollGrace = 16

@@ -1,0 +1,144 @@
+package mpi
+
+import "mpicontend/internal/sim"
+
+// ReqKind distinguishes request flavours.
+type ReqKind int
+
+const (
+	// SendReq is a two-sided send request.
+	SendReq ReqKind = iota
+	// RecvReq is a two-sided receive request.
+	RecvReq
+	// RMAReq is a one-sided operation in flight.
+	RMAReq
+)
+
+// String names the request kind.
+func (k ReqKind) String() string {
+	switch k {
+	case SendReq:
+		return "send"
+	case RecvReq:
+		return "recv"
+	case RMAReq:
+		return "rma"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is an MPI request object. Its lifecycle follows the paper's
+// Fig. 3b state diagram: issued -> (posted) -> completed -> freed. A
+// request that is completed but not yet freed is "dangling" (§4.4).
+type Request struct {
+	p    *Proc
+	kind ReqKind
+
+	src, dst int // peer ranks (src for recv matching, dst for send)
+	tag      int
+	ctx      int
+	bytes    int64
+
+	payload interface{} // send payload / received data after completion
+
+	complete    bool
+	freed       bool
+	completedAt sim.Time
+
+	// send protocol state
+	rndv bool
+
+	// rma op state
+	win *Win
+}
+
+// Complete reports whether the request has completed.
+func (r *Request) Complete() bool { return r.complete }
+
+// Freed reports whether the request was freed.
+func (r *Request) Freed() bool { return r.freed }
+
+// Bytes returns the message size.
+func (r *Request) Bytes() int64 { return r.bytes }
+
+// Kind returns the request kind.
+func (r *Request) Kind() ReqKind { return r.kind }
+
+// Data returns the payload delivered by a completed receive or RMA get.
+func (r *Request) Data() interface{} { return r.payload }
+
+// markComplete transitions the request to the completed state; it becomes
+// dangling until freed. Must run in engine or CS context.
+func (r *Request) markComplete(at sim.Time) {
+	if r.complete {
+		panic("mpi: request completed twice")
+	}
+	r.complete = true
+	r.completedAt = at
+	r.p.w.danglingNow++
+	r.p.danglingNow++
+	if r.p.w.Cfg.SelectiveWakeup {
+		// Event-driven progress (§9): completions wake parked waiters.
+		r.p.activity.WakeAll(at)
+	}
+}
+
+// free releases a completed request. Must be called with the CS held.
+func (r *Request) free() {
+	if !r.complete {
+		panic("mpi: freeing incomplete request")
+	}
+	if r.freed {
+		panic("mpi: request freed twice")
+	}
+	r.freed = true
+	r.p.w.danglingNow--
+	r.p.danglingNow--
+	r.p.outstanding--
+	if r.win != nil {
+		r.win.pending--
+	}
+}
+
+// envelope is an entry of the unexpected-message queue: a message (eager,
+// with buffered payload) or a rendezvous RTS that arrived before a matching
+// receive was posted.
+type envelope struct {
+	src, tag, ctx int
+	bytes         int64
+	payload       interface{}
+	rndv          bool
+	senderReq     *Request // rendezvous: origin request to CTS back to
+	arrivedAt     sim.Time
+}
+
+// matches reports whether the envelope satisfies a receive for (src, tag,
+// ctx) honouring wildcards.
+func (e *envelope) matches(src, tag, ctx int) bool {
+	if e.ctx != ctx {
+		return false
+	}
+	if src != AnySource && e.src != src {
+		return false
+	}
+	if tag != AnyTag && e.tag != tag {
+		return false
+	}
+	return true
+}
+
+// matchesRecv reports whether a posted receive r accepts an arrival from
+// (src, tag, ctx).
+func matchesRecv(r *Request, src, tag, ctx int) bool {
+	if r.ctx != ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != tag {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpicontend/internal/fabric"
+)
+
+// Win is a one-sided communication window: a float64 buffer exposed on
+// every rank (elements model MPI_DOUBLE, 8 bytes each). Access is passive
+// target: origins issue Put/Get/Accumulate and complete them with Flush.
+type Win struct {
+	w        *World
+	id       int
+	buffers  [][]float64 // per-rank window memory
+	pending  int         // live RMA requests issued on this window (all ranks)
+	elemSize int64
+}
+
+// rmaMeta travels with one-sided packets.
+type rmaMeta struct {
+	winID  int
+	offset int64
+	count  int64
+}
+
+// NewWin creates a window of count float64 elements on every rank.
+func (w *World) NewWin(count int64) *Win {
+	win := &Win{w: w, id: len(w.wins), elemSize: 8}
+	for range w.Procs {
+		win.buffers = append(win.buffers, make([]float64, count))
+	}
+	w.wins = append(w.wins, win)
+	return win
+}
+
+// Buffer exposes rank's window memory (for tests and result checking).
+func (win *Win) Buffer(rank int) []float64 { return win.buffers[rank] }
+
+// rmaOp issues one one-sided operation from th to target and returns its
+// tracking request. Internal helper for Put/Get/Accumulate.
+func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
+	offset int64, count int64, payload []float64) *Request {
+	p := th.P
+	th.mainBegin()
+	r := &Request{p: p, kind: RMAReq, dst: target, src: p.Rank,
+		bytes: count * win.elemSize, win: win}
+	p.outstanding++
+	win.pending++
+	bytes := int64(0)
+	var data interface{}
+	if kind == fabric.RMAPut || kind == fabric.RMAAcc {
+		bytes = count * win.elemSize
+		data = payload
+	}
+	p.ep.Send(&fabric.Packet{
+		Kind: kind, Src: p.Rank, Dst: target, Bytes: bytes,
+		Handle: r, Meta: rmaMeta{winID: win.id, offset: offset, count: count},
+		Payload: data,
+	}, false)
+	th.mainEnd()
+	return r
+}
+
+// Put copies vals into the target rank's window at offset. The returned
+// request completes when the target acknowledges.
+func (th *Thread) Put(win *Win, target int, offset int64, vals []float64) *Request {
+	return th.rmaOp(fabric.RMAPut, win, target, offset, int64(len(vals)), vals)
+}
+
+// Get fetches count elements from the target's window at offset. After the
+// request completes, Data() holds the []float64.
+func (th *Thread) Get(win *Win, target int, offset, count int64) *Request {
+	return th.rmaOp(fabric.RMAGet, win, target, offset, count, nil)
+}
+
+// Accumulate adds vals element-wise into the target's window at offset
+// (MPI_SUM semantics).
+func (th *Thread) Accumulate(win *Win, target int, offset int64, vals []float64) *Request {
+	return th.rmaOp(fabric.RMAAcc, win, target, offset, int64(len(vals)), vals)
+}
+
+// Flush blocks until every outstanding RMA operation issued by this
+// process on the window has completed, freeing their requests. Like Wait,
+// it iterates the progress loop at low priority.
+func (th *Thread) Flush(win *Win, rs []*Request) {
+	th.Waitall(rs)
+}
+
+// handleRMA processes one-sided protocol packets inside the CS.
+func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
+	cost := th.cost()
+	now := th.S.Now()
+	switch pkt.Kind {
+	case fabric.RMAPut:
+		m := pkt.Meta.(rmaMeta)
+		win := p.w.wins[m.winID]
+		vals := pkt.Payload.([]float64)
+		th.S.Sleep(cost.CopyTime(pkt.Bytes))
+		copy(win.buffers[p.Rank][m.offset:], vals)
+		p.ep.Send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}, false)
+
+	case fabric.RMAAcc:
+		m := pkt.Meta.(rmaMeta)
+		win := p.w.wins[m.winID]
+		vals := pkt.Payload.([]float64)
+		th.S.Sleep(cost.AccumulateTime(pkt.Bytes))
+		dst := win.buffers[p.Rank][m.offset:]
+		for i, v := range vals {
+			dst[i] += v
+		}
+		p.ep.Send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}, false)
+
+	case fabric.RMAGet:
+		m := pkt.Meta.(rmaMeta)
+		win := p.w.wins[m.winID]
+		th.S.Sleep(cost.CopyTime(m.count * win.elemSize))
+		vals := make([]float64, m.count)
+		copy(vals, win.buffers[p.Rank][m.offset:])
+		p.ep.Send(&fabric.Packet{Kind: fabric.RMAGetReply, Src: p.Rank,
+			Dst: pkt.Src, Bytes: m.count * win.elemSize,
+			Handle: pkt.Handle, Payload: vals}, false)
+
+	case fabric.RMAGetReply:
+		r := pkt.Handle.(*Request)
+		r.payload = pkt.Payload
+		r.markComplete(now)
+
+	case fabric.RMAAck:
+		pkt.Handle.(*Request).markComplete(now)
+
+	default:
+		panic(fmt.Sprintf("mpi: unhandled RMA packet %v", pkt.Kind))
+	}
+}

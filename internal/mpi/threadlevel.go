@@ -1,0 +1,78 @@
+package mpi
+
+import "fmt"
+
+// ThreadLevel is the MPI thread-support level requested at initialization
+// (paper §2.1). The runtime skips critical sections entirely below
+// THREAD_MULTIPLE — that is where single-threaded speed comes from — and,
+// as a debugging aid real MPI libraries lack, *verifies* the usage contract
+// instead of corrupting state when it is violated.
+type ThreadLevel int
+
+const (
+	// ThreadMultiple allows concurrent MPI calls from any thread
+	// (default; the paper's subject).
+	ThreadMultiple ThreadLevel = iota
+	// ThreadSingle permits exactly one thread per process to call MPI.
+	ThreadSingle
+	// ThreadFunneled permits MPI calls only from each process's first-
+	// spawned ("main") thread.
+	ThreadFunneled
+	// ThreadSerialized permits any thread but never two concurrently;
+	// the application must serialize (the runtime checks it did).
+	ThreadSerialized
+)
+
+// String names the level like the MPI constants.
+func (l ThreadLevel) String() string {
+	switch l {
+	case ThreadMultiple:
+		return "MPI_THREAD_MULTIPLE"
+	case ThreadSingle:
+		return "MPI_THREAD_SINGLE"
+	case ThreadFunneled:
+		return "MPI_THREAD_FUNNELED"
+	case ThreadSerialized:
+		return "MPI_THREAD_SERIALIZED"
+	default:
+		return fmt.Sprintf("ThreadLevel(%d)", int(l))
+	}
+}
+
+// Serialized reports whether the level needs no critical sections.
+func (l ThreadLevel) lockless() bool { return l != ThreadMultiple }
+
+// checkThreadLevel enforces the usage contract on every MPI entry. It runs
+// only when the configured level is below THREAD_MULTIPLE, where the
+// runtime takes no locks and a violation would otherwise corrupt state
+// silently.
+func (th *Thread) checkThreadLevel() {
+	p := th.P
+	switch p.w.Cfg.ThreadLevel {
+	case ThreadMultiple:
+		return
+	case ThreadSingle, ThreadFunneled:
+		// Only the first application thread of the process may call.
+		if p.mainThread != nil && p.mainThread != th {
+			panic(fmt.Sprintf("mpi: %v violation: thread %q called MPI on rank %d",
+				p.w.Cfg.ThreadLevel, th.S.Name(), p.Rank))
+		}
+		if p.mainThread == nil {
+			p.mainThread = th
+		}
+	case ThreadSerialized:
+		if p.inCall != nil && p.inCall != th {
+			panic(fmt.Sprintf("mpi: MPI_THREAD_SERIALIZED violation: %q and %q "+
+				"inside MPI concurrently on rank %d",
+				p.inCall.S.Name(), th.S.Name(), p.Rank))
+		}
+		p.inCall = th
+	}
+}
+
+// exitThreadLevel ends a serialized call section.
+func (th *Thread) exitThreadLevel() {
+	if th.P.w.Cfg.ThreadLevel == ThreadSerialized {
+		th.P.inCall = nil
+	}
+}

@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+)
+
+func levelWorld(t *testing.T, lvl ThreadLevel) *World {
+	t.Helper()
+	w, err := NewWorld(Config{
+		Topo:        machine.Nehalem2x4(2),
+		Lock:        simlock.KindTicket, // overridden below MULTIPLE
+		ThreadLevel: lvl,
+		Seed:        31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestThreadLevelNames(t *testing.T) {
+	want := map[ThreadLevel]string{
+		ThreadMultiple:   "MPI_THREAD_MULTIPLE",
+		ThreadSingle:     "MPI_THREAD_SINGLE",
+		ThreadFunneled:   "MPI_THREAD_FUNNELED",
+		ThreadSerialized: "MPI_THREAD_SERIALIZED",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Fatalf("%d.String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestFunneledMainThreadWorks(t *testing.T) {
+	w := levelWorld(t, ThreadFunneled)
+	c := w.Comm()
+	var got interface{}
+	w.Spawn(0, "main", func(th *Thread) {
+		th.Send(c, 1, 0, 8, "ok")
+	})
+	w.Spawn(1, "main", func(th *Thread) {
+		got = th.Recv(c, 0, 0)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ok" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFunneledViolationPanics(t *testing.T) {
+	w := levelWorld(t, ThreadFunneled)
+	c := w.Comm()
+	violated := false
+	// First thread establishes itself as the main thread.
+	w.Spawn(0, "main", func(th *Thread) {
+		th.Isend(c, 1, 0, 8, nil)
+	})
+	w.Spawn(0, "rogue", func(th *Thread) {
+		defer func() {
+			if recover() != nil {
+				violated = true
+			}
+		}()
+		th.S.Sleep(1000) // let the main thread call first
+		th.Irecv(c, 1, 0)
+	})
+	w.Spawn(1, "peer", func(th *Thread) {
+		th.Recv(c, 0, 0)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatal("FUNNELED violation not detected")
+	}
+}
+
+func TestSerializedAlternationWorks(t *testing.T) {
+	// Two threads call MPI strictly alternately (app-level serialization
+	// via simulated time): legal under SERIALIZED.
+	w := levelWorld(t, ThreadSerialized)
+	c := w.Comm()
+	w.Spawn(0, "a", func(th *Thread) {
+		th.Send(c, 1, 0, 8, 1)
+	})
+	w.Spawn(0, "b", func(th *Thread) {
+		th.S.Sleep(1_000_000) // strictly after thread a finished
+		th.Send(c, 1, 1, 8, 2)
+	})
+	sum := 0
+	w.Spawn(1, "r", func(th *Thread) {
+		sum += th.Recv(c, 0, 0).(int)
+		sum += th.Recv(c, 0, 1).(int)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestLocklessLevelsUseNoLock(t *testing.T) {
+	w := levelWorld(t, ThreadFunneled)
+	if w.Cfg.Lock != simlock.KindNone {
+		t.Fatalf("funneled level kept lock %v", w.Cfg.Lock)
+	}
+	w2 := levelWorld(t, ThreadMultiple)
+	if w2.Cfg.Lock != simlock.KindTicket {
+		t.Fatalf("multiple level lost its lock: %v", w2.Cfg.Lock)
+	}
+}

@@ -1,0 +1,312 @@
+// Package mpi implements a simulated MPICH-like runtime with
+// MPI_THREAD_MULTIPLE support: per-process global critical sections with
+// pluggable arbitration (mutex / ticket / priority, per the paper),
+// nonblocking two-sided communication with posted/unexpected queues and tag
+// matching, eager and rendezvous protocols over the fabric model, one-sided
+// RMA windows with an optional asynchronous progress thread, and small
+// collectives built on point-to-point.
+//
+// The runtime reproduces the critical-section structure of the paper's
+// Fig. 6a: every call enters the global CS on its main path (high priority)
+// and blocking calls then iterate the progress loop, releasing and
+// re-acquiring the CS (low priority) around each poll — the yield window in
+// which lock arbitration decides who advances.
+package mpi
+
+import (
+	"fmt"
+
+	"mpicontend/internal/fabric"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+	"mpicontend/internal/simlock"
+)
+
+// Wildcards for receive matching.
+const (
+	// AnySource matches messages from every rank.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// collCtx is the communication context reserved for internal collectives,
+// disjoint from every user communicator context (which are >= 0).
+const collCtx = -2
+
+// Config describes a simulated MPI world.
+type Config struct {
+	// Topo is the cluster shape. Required.
+	Topo machine.Topology
+	// Cost is the timing model; zero value means machine.Default().
+	Cost machine.CostModel
+	// Lock selects the critical-section arbitration (the paper's subject).
+	Lock simlock.Kind
+	// ThreadLevel is the requested MPI thread-support level (§2.1).
+	// Levels below MPI_THREAD_MULTIPLE take no locks at all — the
+	// runtime instead verifies the usage contract and panics on
+	// violations.
+	ThreadLevel ThreadLevel
+	// Granularity selects the critical-section granularity (Fig. 1);
+	// default GranGlobal, the paper's baseline.
+	Granularity Granularity
+	// Binding places process threads on cores (compact/scatter).
+	Binding machine.Binding
+	// ProcsPerNode defaults to 1.
+	ProcsPerNode int
+	// Seed drives all randomness (CAS jitter etc.).
+	Seed uint64
+	// OnGrant optionally returns a grant observer for the given rank's
+	// critical-section lock (used by the §4.3/§4.4 analyses).
+	OnGrant func(rank int) simlock.GrantFunc
+	// MaxEvents aborts the simulation with an error after this many
+	// events — a guard that turns protocol deadlocks (which would spin
+	// in virtual time forever) into diagnosable failures. Zero selects a
+	// generous default.
+	MaxEvents uint64
+	// SelectiveWakeup enables the paper's §9 future-work design: threads
+	// blocked in the progress loop park after an empty poll and are woken
+	// by events (message arrival, request completion) instead of
+	// busy-spinning through the critical section. This removes the wasted
+	// lock acquisitions that the mutex otherwise monopolizes.
+	SelectiveWakeup bool
+}
+
+// World is a running simulated cluster with an MPI runtime on each process.
+type World struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Fab   *fabric.Fabric
+	Procs []*Proc
+
+	wins        []*Win
+	danglingNow int
+	appThreads  int // live non-daemon threads; world stops at zero
+	nextCtx     int // user context ids handed out by Dup/Split
+}
+
+// NewWorld builds the world: engine, fabric, and one Proc per rank with its
+// own global critical-section lock.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProcsPerNode <= 0 {
+		cfg.ProcsPerNode = 1
+	}
+	zero := machine.CostModel{}
+	if cfg.Cost == zero {
+		cfg.Cost = machine.Default()
+	}
+	if cfg.ProcsPerNode > cfg.Topo.CoresPerNode() {
+		return nil, fmt.Errorf("mpi: %d processes per node exceed %d cores",
+			cfg.ProcsPerNode, cfg.Topo.CoresPerNode())
+	}
+	if cfg.ThreadLevel.lockless() {
+		// Below MPI_THREAD_MULTIPLE the runtime is not thread safe and
+		// takes no locks (that is the point of the levels, §2.1).
+		cfg.Lock = simlock.KindNone
+	}
+	w := &World{
+		Cfg: cfg,
+		Eng: sim.NewEngine(cfg.Seed),
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 500_000_000
+	}
+	w.Eng.MaxEvents = cfg.MaxEvents
+	w.Fab = fabric.New(w.Eng, cfg.Cost)
+	n := cfg.Topo.Nodes * cfg.ProcsPerNode
+	coresPerProc := cfg.Topo.CoresPerNode() / cfg.ProcsPerNode
+	for rank := 0; rank < n; rank++ {
+		node := rank / cfg.ProcsPerNode
+		p := &Proc{
+			w:         w,
+			Rank:      rank,
+			Node:      node,
+			firstCore: (rank % cfg.ProcsPerNode) * coresPerProc,
+			coreCount: coresPerProc,
+		}
+		lcfg := &simlock.Config{Eng: w.Eng, Cost: cfg.Cost}
+		if cfg.OnGrant != nil {
+			lcfg.OnGrant = cfg.OnGrant(rank)
+		}
+		p.cs = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines}
+		if cfg.Granularity == GranFine {
+			sub := &simlock.Config{Eng: w.Eng, Cost: cfg.Cost}
+			p.queueCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
+			p.nicCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
+		}
+		p.ep = w.Fab.Attach(rank, node, p.onPacket)
+		w.Procs = append(w.Procs, p)
+	}
+	return w, nil
+}
+
+// NumProcs returns the number of ranks.
+func (w *World) NumProcs() int { return len(w.Procs) }
+
+// Proc returns the process with the given rank.
+func (w *World) Proc(rank int) *Proc { return w.Procs[rank] }
+
+// Comm returns the world communicator.
+func (w *World) Comm() *Comm { return &Comm{w: w, ctx: 0, size: len(w.Procs)} }
+
+// Dangling/outstanding accounting uses world ranks throughout; Comm only
+// translates at the API boundary.
+
+// DanglingNow returns the current number of completed-but-not-freed
+// requests across the world (the paper's §4.4 metric source).
+func (w *World) DanglingNow() int { return w.danglingNow }
+
+// Run executes the simulation until all non-daemon threads finish.
+func (w *World) Run() error { return w.Eng.Run() }
+
+// Comm is a communicator: a matching context over a group of processes.
+// The world communicator has a nil ranks slice (identity mapping); Dup and
+// Split create communicators with explicit groups.
+type Comm struct {
+	w    *World
+	ctx  int
+	size int
+	// ranks maps comm-local rank -> world rank; nil means identity.
+	ranks []int
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Ctx returns the matching context id (exported for tests).
+func (c *Comm) Ctx() int { return c.ctx }
+
+// Proc is one MPI process: a rank with its own runtime state and global
+// critical section.
+type Proc struct {
+	w         *World
+	Rank      int
+	Node      int
+	firstCore int
+	coreCount int
+
+	cs      csLock // the global critical section (Fig. 6a)
+	queueCS csLock // matching-queue lock (GranFine)
+	nicCS   csLock // completion-queue lock (GranFine)
+	ep      *fabric.Endpoint
+
+	posted []*Request       // posted receive queue
+	unexp  []*envelope      // unexpected message queue
+	cq     []*fabric.Packet // network completion queue
+
+	activity    sim.WaitQueue // parked background pollers
+	nthreads    int
+	outstanding int // active requests (incl. RMA ops) not yet freed
+	danglingNow int // completed-but-not-freed requests of this proc
+
+	// Thread-level contract tracking (ThreadSingle/Funneled/Serialized).
+	mainThread *Thread
+	inCall     *Thread
+
+	// Stats
+	UnexpectedHits int64 // receives satisfied from the unexpected queue
+	PostedHits     int64 // arrivals matched against posted receives
+	Polls          int64
+}
+
+// Lock exposes the process's global critical-section lock (for
+// instrumentation).
+func (p *Proc) Lock() simlock.Lock { return p.cs.lock }
+
+// Cost returns the world's timing model.
+func (p *Proc) Cost() machine.CostModel { return p.w.Cfg.Cost }
+
+// Rand returns the world's deterministic random stream (for jittered
+// application-side delays).
+func (p *Proc) Rand() *sim.Rand { return p.w.Eng.Rand() }
+
+// Outstanding returns the number of live (not yet freed) requests.
+func (p *Proc) Outstanding() int { return p.outstanding }
+
+// DanglingNow returns this process's completed-but-not-freed request count.
+func (p *Proc) DanglingNow() int { return p.danglingNow }
+
+// onPacket is the fabric delivery handler (engine context).
+func (p *Proc) onPacket(pkt *fabric.Packet) {
+	p.cq = append(p.cq, pkt)
+	p.activity.WakeAll(p.w.Eng.Now())
+}
+
+// Thread is an application thread bound to a core of its process; all MPI
+// calls are methods on it.
+type Thread struct {
+	S *sim.Thread
+	P *Proc
+
+	lctx simlock.Ctx
+	// pollBackoff tracks consecutive empty polls for adaptive spinning.
+	pollBackoff int
+	// noBackoff pins the progress loop at full spinning speed (async
+	// progress threads never slow down, per MPICH behaviour).
+	noBackoff bool
+}
+
+// Place returns the core this thread is bound to.
+func (th *Thread) Place() machine.Place { return th.lctx.Place }
+
+// Spawn creates an application thread on the given rank. Threads are bound
+// to cores in spawn order according to the world's binding policy. When the
+// last application thread returns, the simulation stops (daemon pollers
+// would otherwise spin forever).
+func (w *World) Spawn(rank int, name string, fn func(th *Thread)) *Thread {
+	w.appThreads++
+	return w.spawn(rank, name, func(th *Thread) {
+		fn(th)
+		w.appThreads--
+		if w.appThreads == 0 {
+			w.Eng.Stop()
+		}
+	})
+}
+
+func (w *World) spawn(rank int, name string, fn func(th *Thread)) *Thread {
+	p := w.Procs[rank]
+	idx := p.nthreads
+	p.nthreads++
+	place := w.Cfg.Topo.Bind(w.Cfg.Binding, p.Node, p.firstCore, p.coreCount, idx)
+	var th *Thread
+	st := w.Eng.Spawn(fmt.Sprintf("%s[r%d.t%d]", name, rank, idx), func(s *sim.Thread) {
+		fn(th)
+	})
+	th = &Thread{S: st, P: p, lctx: simlock.Ctx{T: st, Place: place}}
+	st.Data = th
+	return th
+}
+
+// SpawnAsyncProgress starts the MPICH-style asynchronous progress thread on
+// the given rank: a daemon blocked "forever" in the progress loop at low
+// priority, exactly like a progress thread waiting on a never-completing
+// request. It polls continuously — including when there is nothing to do,
+// which is when it wastes lock acquisitions and monopolizes a mutex-guarded
+// runtime (paper §6.1.2). The paper's Fig. 9 experiments enable this on
+// every process.
+func (w *World) SpawnAsyncProgress(rank int) *Thread {
+	th := w.spawn(rank, "async-progress", func(th *Thread) {
+		th.S.SetDaemon()
+		th.noBackoff = true
+		for {
+			th.progressRound(simlock.Low, nil)
+			th.progressYield()
+		}
+	})
+	return th
+}
+
+// enter acquires the process's global critical section, charging the
+// runtime-state cache-line migration on ownership changes. Used directly
+// by tests; regular call paths go through mainBegin/stateBegin/
+// progressRound, which honour the configured granularity.
+func (th *Thread) enter(cl simlock.Class) { th.P.cs.enter(th, cl) }
+
+// exit releases the process's global critical section.
+func (th *Thread) exit(cl simlock.Class) { th.P.cs.exit(th, cl) }
+
+func (th *Thread) cost() machine.CostModel { return th.P.w.Cfg.Cost }

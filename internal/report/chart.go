@@ -1,0 +1,101 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// chart dimensions (rows x columns of the plotting area).
+const (
+	chartHeight = 16
+	chartWidth  = 64
+)
+
+// seriesGlyphs mark data points of successive series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the table as an ASCII scatter chart: x values become
+// ordinal columns (suitable for the log-spaced sweeps the figures use),
+// y is linear from zero to the maximum. Each series gets a glyph; the
+// legend maps glyphs to names.
+func (t *Table) Chart() string {
+	xs := t.xs()
+	if len(xs) == 0 {
+		return "(empty)\n"
+	}
+	ymax := 0.0
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	col := func(x float64) int {
+		for i, v := range xs {
+			if v == x {
+				if len(xs) == 1 {
+					return 0
+				}
+				return i * (chartWidth - 1) / (len(xs) - 1)
+			}
+		}
+		return 0
+	}
+	row := func(y float64) int {
+		r := int(y / ymax * float64(chartHeight-1))
+		if r < 0 {
+			r = 0
+		}
+		if r > chartHeight-1 {
+			r = chartHeight - 1
+		}
+		return chartHeight - 1 - r
+	}
+
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	for si, s := range t.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			grid[row(p.Y)][col(p.X)] = g
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	}
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = padLeft(formatNum(ymax), 10)
+		case chartHeight - 1:
+			label = padLeft("0", 10)
+		case chartHeight / 2:
+			label = padLeft(formatNum(ymax/2), 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", chartWidth) + "\n")
+	fmt.Fprintf(&b, "%s x: %s from %s to %s (%d points, ordinal spacing)\n",
+		strings.Repeat(" ", 11), t.XLabel, formatNum(xs[0]), formatNum(xs[len(xs)-1]), len(xs))
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "%s %c = %s\n", strings.Repeat(" ", 11),
+			seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func padLeft(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

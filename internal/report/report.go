@@ -1,0 +1,164 @@
+// Package report renders experiment results as the aligned text tables and
+// series the cmd tools and EXPERIMENTS.md use, mirroring the rows/columns
+// of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line of a figure (e.g. "Mutex", "Ticket").
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Y returns the y value at x, or NaN-like zero and false when absent.
+func (s *Series) Y(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table is a figure's data: several series over a shared x axis.
+type Table struct {
+	ID     string // experiment id, e.g. "fig8a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries creates (or returns the existing) series with the given name.
+func (t *Table) AddSeries(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// xs returns the sorted union of all x values.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "# y: %s\n", t.YLabel)
+	}
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range t.xs() {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			if y, ok := s.Y(x); ok {
+				row = append(row, formatNum(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatNum renders a float compactly: integers without decimals, small
+// values with three significant decimals.
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Ratio returns sa/sb evaluated pointwise at their shared x values.
+func Ratio(sa, sb *Series) *Series {
+	out := &Series{Name: sa.Name + "/" + sb.Name}
+	for _, p := range sa.Points {
+		if y, ok := sb.Y(p.X); ok && y != 0 {
+			out.Add(p.X, p.Y/y)
+		}
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of the series' y values (0 if empty
+// or any y <= 0).
+func GeoMean(s *Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, p := range s.Points {
+		if p.Y <= 0 {
+			return 0
+		}
+		prod *= p.Y
+	}
+	return math.Pow(prod, 1.0/float64(len(s.Points)))
+}

@@ -1,0 +1,231 @@
+// Package sim implements a deterministic discrete-event simulator with
+// cooperative simulated threads ("simthreads").
+//
+// The engine owns a virtual clock measured in integer nanoseconds and an
+// event queue ordered by (time, sequence). Exactly one simthread executes at
+// any moment; a simthread runs until it blocks (Sleep, Park) or returns, at
+// which point control transfers back to the engine, which dispatches the
+// next event. Ties are broken by insertion order, so a simulation with a
+// fixed seed is fully reproducible.
+//
+// Simthreads are backed by goroutines but synchronized with a baton
+// hand-off, so the simulation is sequential and race-free by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time = int64
+
+// Engine is a deterministic discrete-event simulation engine. The zero value
+// is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+
+	threads []*Thread
+	running *Thread // thread currently holding the baton, nil if engine runs
+	baton   chan struct{}
+
+	kill      chan struct{} // closed on shutdown; parked threads abort
+	stopped   bool
+	eventsRun uint64
+
+	// MaxEvents aborts the run when exceeded (safety against runaway
+	// simulations). Zero means no limit.
+	MaxEvents uint64
+	// MaxTime aborts the run once the clock passes it. Zero means no limit.
+	MaxTime Time
+}
+
+// NewEngine returns an engine whose random stream is derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRand(seed),
+		baton: make(chan struct{}),
+		kill:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// EventsRun reports how many events have been dispatched so far.
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// At schedules fn to run at virtual time t (>= Now). fn runs in engine
+// context and must not block; use Spawn for blocking activities.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(&event{when: t, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// AtTimer schedules fn at time t and returns a handle that can cancel it.
+func (e *Engine) AtTimer(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{when: t, fn: fn}
+	e.push(ev)
+	return &Timer{ev: ev}
+}
+
+// When returns the scheduled fire time.
+func (tm *Timer) When() Time { return tm.ev.when }
+
+// Cancel prevents the callback from running. Safe to call after firing.
+func (tm *Timer) Cancel() { tm.ev.Cancel() }
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Spawn creates a simthread that begins executing fn at the current virtual
+// time. fn receives the thread handle it must use for all blocking
+// operations.
+func (e *Engine) Spawn(name string, fn func(t *Thread)) *Thread {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a simthread that begins executing fn at virtual time
+// start.
+func (e *Engine) SpawnAt(start Time, name string, fn func(t *Thread)) *Thread {
+	t := &Thread{
+		eng:    e,
+		id:     len(e.threads),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	e.threads = append(e.threads, t)
+	go t.run(fn)
+	e.At(start, func() { e.dispatch(t) })
+	return t
+}
+
+// dispatch hands the baton to t and waits for it to block or finish.
+func (e *Engine) dispatch(t *Thread) {
+	if t.state == stateDone {
+		return
+	}
+	t.state = stateRunning
+	e.running = t
+	t.resume <- struct{}{}
+	<-e.baton
+	e.running = nil
+}
+
+// Run dispatches events until the queue is empty or the simulation is
+// stopped. It returns an error if simthreads remain parked when no events
+// are left (a deadlock), or if a configured limit was exceeded.
+func (e *Engine) Run() error {
+	defer e.shutdown()
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if e.MaxTime > 0 && ev.when > e.MaxTime {
+			return fmt.Errorf("sim: exceeded MaxTime %d at event time %d", e.MaxTime, ev.when)
+		}
+		if ev.when < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", ev.when, e.now))
+		}
+		e.now = ev.when
+		e.eventsRun++
+		if e.MaxEvents > 0 && e.eventsRun > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents %d", e.MaxEvents)
+		}
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	var parked []string
+	for _, t := range e.threads {
+		if (t.state == stateParked || t.state == stateSleeping) && !t.daemon {
+			parked = append(parked, t.name)
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return fmt.Errorf("sim: deadlock: no events left but %d thread(s) blocked: %s",
+			len(parked), strings.Join(parked, ", "))
+	}
+	return nil
+}
+
+// Stop halts the simulation: Run returns after the current event completes
+// and all blocked simthreads are terminated. Safe to call from engine
+// callbacks; from simthread context prefer calling Stop and then parking.
+func (e *Engine) Stop() { e.stopped = true }
+
+// shutdown terminates all still-blocked simthread goroutines.
+func (e *Engine) shutdown() {
+	close(e.kill)
+	for _, t := range e.threads {
+		if t.state == stateParked || t.state == stateSleeping || t.state == stateNew {
+			// Unblock the goroutine; it aborts via killErr.
+			select {
+			case t.resume <- struct{}{}:
+				<-e.baton
+			default:
+				// Goroutine already observed the kill channel.
+			}
+		}
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel marks the event so it is skipped when popped.
+func (ev *event) Cancel() { ev.cancelled = true }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

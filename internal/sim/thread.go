@@ -1,0 +1,155 @@
+package sim
+
+import "fmt"
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateRunning
+	stateSleeping
+	stateParked
+	stateDone
+)
+
+// killed is the panic payload used to unwind a simthread goroutine when the
+// engine shuts down while the thread is still blocked.
+type killed struct{}
+
+// Thread is a cooperative simulated thread. All methods must be called from
+// the thread's own function (the engine guarantees only one simthread runs
+// at a time, so no further synchronization is needed).
+type Thread struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	state  threadState
+
+	// Data carries user context (e.g. the machine placement of the
+	// thread). The simulator itself never inspects it.
+	Data interface{}
+
+	// daemon marks threads that may legitimately be parked when the
+	// simulation ends (background pollers); they do not count as a
+	// deadlock.
+	daemon bool
+
+	wake *event // pending wake event while sleeping or parked with deadline
+}
+
+// ID returns the thread's unique index within its engine.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the label given at Spawn time.
+func (t *Thread) Name() string { return t.name }
+
+// Engine returns the engine this thread belongs to.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.eng.now }
+
+// run is the goroutine body wrapping the user function.
+func (t *Thread) run(fn func(*Thread)) {
+	<-t.resume // wait for first dispatch
+	select {
+	case <-t.eng.kill:
+		t.state = stateDone
+		t.eng.baton <- struct{}{}
+		return
+	default:
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				t.state = stateDone
+				t.eng.baton <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(t)
+	t.state = stateDone
+	t.eng.baton <- struct{}{}
+}
+
+// yield transfers control to the engine and blocks until redispatched.
+func (t *Thread) yield() {
+	t.eng.baton <- struct{}{}
+	<-t.resume
+	select {
+	case <-t.eng.kill:
+		panic(killed{})
+	default:
+	}
+	t.state = stateRunning
+}
+
+// Sleep advances this thread's local time by d nanoseconds, letting other
+// events run meanwhile. Negative durations are treated as zero.
+func (t *Thread) Sleep(d Time) {
+	if t.eng.running != t {
+		panic(fmt.Sprintf("sim: Sleep called on %q from outside its own context", t.name))
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.state = stateSleeping
+	t.eng.At(t.eng.now+d, func() { t.eng.dispatch(t) })
+	t.yield()
+}
+
+// Park blocks the thread until another party calls Unpark. A thread parked
+// forever when the event queue drains is reported as a deadlock by Run.
+func (t *Thread) Park() {
+	if t.eng.running != t {
+		panic(fmt.Sprintf("sim: Park called on %q from outside its own context", t.name))
+	}
+	t.state = stateParked
+	t.yield()
+}
+
+// Unpark schedules the parked thread to resume at virtual time at (clamped
+// to now). It is a no-op if the thread is not parked. Calling Unpark twice
+// before the thread resumes panics, as it indicates a scheduling bug.
+func (t *Thread) Unpark(at Time) {
+	if t.state != stateParked {
+		panic(fmt.Sprintf("sim: Unpark of thread %q which is not parked", t.name))
+	}
+	if t.wake != nil {
+		panic(fmt.Sprintf("sim: double Unpark of thread %q", t.name))
+	}
+	if at < t.eng.now {
+		at = t.eng.now
+	}
+	ev := &event{when: at, fn: func() {
+		t.wake = nil
+		t.eng.dispatch(t)
+	}}
+	t.wake = ev
+	t.eng.push(ev)
+}
+
+// UnparkCancel cancels a pending Unpark, leaving the thread parked again.
+// It is a no-op if no wake is pending.
+func (t *Thread) UnparkCancel() {
+	if t.wake != nil {
+		t.wake.Cancel()
+		t.wake = nil
+		t.state = stateParked
+	}
+}
+
+// Parked reports whether the thread is currently parked with no pending
+// wake event.
+func (t *Thread) Parked() bool { return t.state == stateParked && t.wake == nil }
+
+// Done reports whether the thread function has returned.
+func (t *Thread) Done() bool { return t.state == stateDone }
+
+// SetDaemon marks the thread as a background daemon: if the event queue
+// drains while it is parked, Run treats the simulation as complete instead
+// of deadlocked (the thread is then terminated).
+func (t *Thread) SetDaemon() { t.daemon = true }

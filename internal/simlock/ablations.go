@@ -1,0 +1,213 @@
+package simlock
+
+import (
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+// PrioMutexLock stacks three futex mutexes in the shape of Fig. 7. The
+// paper's §7 argues this cannot work: mutexes guarantee no fairness within
+// a priority class, and low-priority threads can monopolize the blocking
+// lock over high-priority ones. It exists purely as an ablation so that
+// claim can be measured.
+type PrioMutexLock struct {
+	cfg            *Config
+	h, l, b        *FutexMutex
+	alreadyBlocked bool
+	highHolders    int
+	waitH, waitL   map[*Ctx]bool
+}
+
+// NewPrioMutexLock builds the mutex-based priority composition of §7.
+func NewPrioMutexLock(cfg *Config) *PrioMutexLock {
+	sub := &Config{Eng: cfg.Eng, Cost: cfg.Cost}
+	return &PrioMutexLock{
+		cfg:   cfg,
+		h:     NewFutexMutex(sub),
+		l:     NewFutexMutex(sub),
+		b:     NewFutexMutex(sub),
+		waitH: make(map[*Ctx]bool),
+		waitL: make(map[*Ctx]bool),
+	}
+}
+
+// Name returns the figure label of the lock.
+func (p *PrioMutexLock) Name() string { return "PrioMutex" }
+
+// Acquire enters the critical section with the given class.
+func (p *PrioMutexLock) Acquire(c *Ctx, cl Class) {
+	if cl == High {
+		p.waitH[c] = true
+		p.h.Acquire(c, High)
+		if !p.alreadyBlocked {
+			p.b.Acquire(c, High)
+			p.alreadyBlocked = true
+		}
+		p.highHolders++
+		delete(p.waitH, c)
+	} else {
+		p.waitL[c] = true
+		p.l.Acquire(c, Low)
+		p.b.Acquire(c, Low)
+		delete(p.waitL, c)
+	}
+	p.emit(c, cl)
+}
+
+// Release leaves the critical section.
+func (p *PrioMutexLock) Release(c *Ctx, cl Class) {
+	if cl == High {
+		p.highHolders--
+		// A mutex has no waiter count visible in user space; approximate
+		// "last high-priority thread" with the contender count, which is
+		// exactly the information a futex-based design cannot get
+		// race-free — part of why §7 rejects this construction.
+		if p.h.ContenderCount() == 0 {
+			p.releaseB(c)
+			p.alreadyBlocked = false
+		}
+		p.h.Release(c, High)
+	} else {
+		p.releaseB(c)
+		p.l.Release(c, Low)
+	}
+}
+
+// releaseB releases b from the calling context (mutexes assert holder
+// identity, and ownership of b migrates within the high class, so it is
+// transferred to the caller first).
+func (p *PrioMutexLock) releaseB(c *Ctx) {
+	if p.b.Holder() != c {
+		p.b.TransferOwnership(c)
+	}
+	p.b.Release(c, High)
+}
+
+// ContenderCount returns the number of threads waiting on either class.
+func (p *PrioMutexLock) ContenderCount() int { return len(p.waitH) + len(p.waitL) }
+
+func (p *PrioMutexLock) emit(c *Ctx, cl Class) {
+	if p.cfg.OnGrant == nil {
+		return
+	}
+	ws := make([]machine.Place, 0, len(p.waitH)+len(p.waitL))
+	for w := range p.waitH {
+		ws = append(ws, w.Place)
+	}
+	for w := range p.waitL {
+		ws = append(ws, w.Place)
+	}
+	p.cfg.emit(GrantInfo{At: p.cfg.Eng.Now(), ThreadID: c.T.ID(), Place: c.Place, Class: cl, Waiters: ws})
+}
+
+// SocketPriorityLock is the socket-aware arbitration §7 discusses and
+// rejects: on release it serves waiters from the releaser's socket first,
+// falling back to other sockets only when the local queue is empty. This
+// reduces inter-socket hand-offs but can starve remote sockets when the
+// local socket keeps the queue non-empty (e.g. MPI_Test polling loops).
+type SocketPriorityLock struct {
+	cfg    *Config
+	locked bool
+	holder *Ctx
+	line   machine.Place
+	hasOwn bool
+	queues map[int][]*sockWaiter // per (node,socket) key FIFO
+	order  []int                 // deterministic iteration order of keys
+	total  int
+}
+
+type sockWaiter struct {
+	c         *Ctx
+	spinStart sim.Time
+}
+
+// NewSocketPriorityLock returns the §7 socket-aware ablation lock.
+func NewSocketPriorityLock(cfg *Config) *SocketPriorityLock {
+	return &SocketPriorityLock{cfg: cfg, queues: make(map[int][]*sockWaiter)}
+}
+
+// Name returns the figure label of the lock.
+func (l *SocketPriorityLock) Name() string { return "SocketPriority" }
+
+// ContenderCount returns the number of queued threads.
+func (l *SocketPriorityLock) ContenderCount() int { return l.total }
+
+func sockKey(p machine.Place) int { return p.Node*64 + p.Socket }
+
+// Acquire blocks until the lock is granted by the socket-aware policy.
+func (l *SocketPriorityLock) Acquire(c *Ctx, _ Class) {
+	if !l.locked {
+		l.locked = true
+		l.holder = c
+		cost := int64(0)
+		if l.hasOwn {
+			cost = l.cfg.Cost.Transfer(l.line, c.Place)
+		}
+		l.line = c.Place
+		l.hasOwn = true
+		if cost > 0 {
+			c.T.Sleep(cost)
+		}
+		l.emit(c, l.cfg.Eng.Now())
+		return
+	}
+	k := sockKey(c.Place)
+	if _, ok := l.queues[k]; !ok {
+		l.order = append(l.order, k)
+	}
+	l.queues[k] = append(l.queues[k], &sockWaiter{c: c, spinStart: l.cfg.Eng.Now()})
+	l.total++
+	c.T.Park()
+	if l.holder != c {
+		panic("simlock: socket-priority lock woke a thread out of turn")
+	}
+}
+
+// Release grants the lock to the oldest waiter on the releaser's socket,
+// or the oldest waiter anywhere if that socket has none.
+func (l *SocketPriorityLock) Release(c *Ctx, _ Class) {
+	if !l.locked || l.holder != c {
+		panic("simlock: socket-priority release by non-holder")
+	}
+	l.locked = false
+	l.holder = nil
+	l.line = c.Place
+	l.hasOwn = true
+	if l.total == 0 {
+		return
+	}
+	var w *sockWaiter
+	local := sockKey(c.Place)
+	if q := l.queues[local]; len(q) > 0 {
+		w, l.queues[local] = q[0], q[1:]
+	} else {
+		for _, k := range l.order {
+			if q := l.queues[k]; len(q) > 0 {
+				w, l.queues[k] = q[0], q[1:]
+				break
+			}
+		}
+	}
+	l.total--
+	at := l.cfg.Eng.Now() + l.cfg.Cost.Transfer(c.Place, w.c.Place)
+	l.locked = true
+	l.holder = w.c
+	l.line = w.c.Place
+	l.cfg.Eng.At(at, func() {
+		l.emit(w.c, at)
+		w.c.T.Unpark(at)
+	})
+}
+
+func (l *SocketPriorityLock) emit(c *Ctx, at sim.Time) {
+	if l.cfg.OnGrant == nil {
+		return
+	}
+	var ws []machine.Place
+	for _, k := range l.order {
+		for _, w := range l.queues[k] {
+			ws = append(ws, w.c.Place)
+		}
+	}
+	l.cfg.emit(GrantInfo{At: at, ThreadID: c.T.ID(), Place: c.Place, Class: High, Waiters: ws})
+}

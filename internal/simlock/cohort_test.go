@@ -1,0 +1,75 @@
+package simlock
+
+import (
+	"testing"
+)
+
+func TestCohortMutualExclusion(t *testing.T) {
+	h := newHarness(t, KindCohort, 42)
+	h.run(t, 8, 50, 100, 30, nil)
+	total := 0
+	for _, c := range h.counts {
+		total += c
+	}
+	if total != 8*50 {
+		t.Fatalf("completed %d acquisitions, want %d", total, 8*50)
+	}
+}
+
+func TestCohortBoundedUnfairness(t *testing.T) {
+	// Unlike SocketPriority, the cohort lock's batches are bounded: over
+	// any window of grants, the remote socket must appear.
+	h := newHarness(t, KindCohort, 7)
+	h.run(t, 8, 100, 300, 1, nil)
+	// Scan windows of 2*cohortBatch+2 grants: each must contain both
+	// sockets once the run is warmed up.
+	win := 2*cohortBatch + 2
+	for i := 100; i+win < len(h.grants); i += win {
+		s0, s1 := 0, 0
+		for _, g := range h.grants[i : i+win] {
+			if g.Place.Socket == 0 {
+				s0++
+			} else {
+				s1++
+			}
+		}
+		if s0 == 0 || s1 == 0 {
+			t.Fatalf("window at %d served one socket only (s0=%d s1=%d)", i, s0, s1)
+		}
+	}
+}
+
+func TestCohortKeepsSocketAffinity(t *testing.T) {
+	// The cohort lock should hand off within a socket much more often
+	// than a plain ticket lock under saturation.
+	affinity := func(kind Kind) float64 {
+		h := newHarness(t, kind, 11)
+		h.run(t, 8, 150, 300, 1, nil)
+		same, n := 0, 0
+		for i := 1; i < len(h.grants); i++ {
+			if len(h.grants[i-1].Waiters) == 0 {
+				continue
+			}
+			n++
+			if h.grants[i].Place.SameSocket(h.grants[i-1].Place) {
+				same++
+			}
+		}
+		return float64(same) / float64(n)
+	}
+	co, tk := affinity(KindCohort), affinity(KindTicket)
+	t.Logf("same-socket handoff: cohort %.2f ticket %.2f", co, tk)
+	if co <= tk {
+		t.Errorf("cohort affinity (%.2f) should exceed ticket (%.2f)", co, tk)
+	}
+}
+
+func TestCohortAllThreadsComplete(t *testing.T) {
+	h := newHarness(t, KindCohort, 13)
+	h.run(t, 8, 25, 200, 10, nil)
+	for i, c := range h.counts {
+		if c != 25 {
+			t.Fatalf("thread %d finished %d/25", i, c)
+		}
+	}
+}

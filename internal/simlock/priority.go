@@ -1,0 +1,184 @@
+package simlock
+
+import (
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+// PriorityLock is the paper's custom two-level arbitration scheme (§5.2,
+// Fig. 7), composed of three ticket locks:
+//
+//	ticket_H  serializes high-priority threads (the MPI call main path);
+//	ticket_L  serializes low-priority threads (the progress loop);
+//	ticket_B  lets the high-priority class block the low-priority class.
+//
+// The first high-priority thread in a burst acquires ticket_B; subsequent
+// high-priority threads ride the already_blocked flag. The last
+// high-priority thread (no waiters left on ticket_H) releases ticket_B,
+// letting low-priority threads through. Fairness within each class is FCFS
+// by construction.
+type PriorityLock struct {
+	cfg            *Config
+	h, l, b        *TicketLock
+	alreadyBlocked bool
+
+	// waiting sets, maintained for grant snapshots (§4.3 estimators).
+	waitH map[*Ctx]bool
+	waitL map[*Ctx]bool
+}
+
+// NewPriorityLock builds the Fig. 7 composition.
+func NewPriorityLock(cfg *Config) *PriorityLock {
+	sub := &Config{Eng: cfg.Eng, Cost: cfg.Cost} // components do not emit grants
+	mk := func(name string) *TicketLock {
+		t := NewTicketLock(sub)
+		t.name = name
+		return t
+	}
+	b := mk("ticket_B")
+	b.skipFreeAcquireCharge = true
+	return &PriorityLock{
+		cfg:   cfg,
+		h:     mk("ticket_H"),
+		l:     mk("ticket_L"),
+		b:     b,
+		waitH: make(map[*Ctx]bool),
+		waitL: make(map[*Ctx]bool),
+	}
+}
+
+// Name returns the figure label of the lock.
+func (p *PriorityLock) Name() string { return "Priority" }
+
+// Acquire enters the critical section with the given class.
+func (p *PriorityLock) Acquire(c *Ctx, cl Class) {
+	if cl == High {
+		p.waitH[c] = true
+		p.h.Acquire(c, High)
+		if !p.alreadyBlocked {
+			p.b.Acquire(c, High)
+			p.alreadyBlocked = true
+		}
+		delete(p.waitH, c)
+	} else {
+		p.waitL[c] = true
+		p.l.Acquire(c, Low)
+		p.b.Acquire(c, Low)
+		delete(p.waitL, c)
+	}
+	p.emit(c, cl)
+}
+
+// Release leaves the critical section. cl must match the class used to
+// acquire.
+func (p *PriorityLock) Release(c *Ctx, cl Class) {
+	if cl == High {
+		if !p.h.HasWaiters() {
+			// Last high-priority thread: let the low-priority class pass.
+			p.b.Release(c, High)
+			p.alreadyBlocked = false
+		}
+		p.h.Release(c, High)
+	} else {
+		p.b.Release(c, Low)
+		p.l.Release(c, Low)
+	}
+}
+
+// ContenderCount returns the number of threads waiting on either class.
+func (p *PriorityLock) ContenderCount() int { return len(p.waitH) + len(p.waitL) }
+
+func (p *PriorityLock) emit(c *Ctx, cl Class) {
+	if p.cfg.OnGrant == nil {
+		return
+	}
+	ws := make([]machine.Place, 0, len(p.waitH)+len(p.waitL))
+	for w := range p.waitH {
+		ws = append(ws, w.Place)
+	}
+	for w := range p.waitL {
+		ws = append(ws, w.Place)
+	}
+	p.cfg.emit(GrantInfo{
+		At:       p.cfg.Eng.Now(),
+		ThreadID: c.T.ID(),
+		Place:    c.Place,
+		Class:    cl,
+		Waiters:  ws,
+	})
+}
+
+// MCSLock models the queue lock of Mellor-Crummey and Scott (related work
+// §8): FCFS like the ticket lock, but each waiter spins on its own cache
+// line, so hand-off costs one line transfer from predecessor to successor
+// and contention causes no global line storms. In this simulator that makes
+// it behave like a ticket lock whose hand-off latency references the
+// predecessor rather than a shared counter line.
+type MCSLock struct {
+	cfg    *Config
+	locked bool
+	holder *Ctx
+	queue  []*mcsWaiter
+}
+
+type mcsWaiter struct {
+	c         *Ctx
+	spinStart sim.Time
+}
+
+// NewMCSLock returns an MCS queue lock.
+func NewMCSLock(cfg *Config) *MCSLock { return &MCSLock{cfg: cfg} }
+
+// Name returns the figure label of the lock.
+func (l *MCSLock) Name() string { return "MCS" }
+
+// ContenderCount returns the number of queued threads.
+func (l *MCSLock) ContenderCount() int { return len(l.queue) }
+
+// Acquire appends the caller to the queue (one atomic swap) and blocks
+// until its predecessor hands off.
+func (l *MCSLock) Acquire(c *Ctx, _ Class) {
+	if !l.locked && len(l.queue) == 0 {
+		l.locked = true
+		l.holder = c
+		l.emit(c, l.cfg.Eng.Now())
+		return
+	}
+	l.queue = append(l.queue, &mcsWaiter{c: c, spinStart: l.cfg.Eng.Now()})
+	c.T.Park()
+	if l.holder != c {
+		panic("simlock: MCS lock woke a thread out of turn")
+	}
+}
+
+// Release hands the lock to the queue head by writing its local flag.
+func (l *MCSLock) Release(c *Ctx, _ Class) {
+	if !l.locked || l.holder != c {
+		panic("simlock: MCS release by non-holder")
+	}
+	l.locked = false
+	l.holder = nil
+	if len(l.queue) == 0 {
+		return
+	}
+	w := l.queue[0]
+	l.queue = l.queue[1:]
+	at := l.cfg.Eng.Now() + l.cfg.Cost.Transfer(c.Place, w.c.Place)
+	l.locked = true
+	l.holder = w.c
+	l.cfg.Eng.At(at, func() {
+		l.emit(w.c, at)
+		w.c.T.Unpark(at)
+	})
+}
+
+func (l *MCSLock) emit(c *Ctx, at sim.Time) {
+	if l.cfg.OnGrant == nil {
+		return
+	}
+	ws := make([]machine.Place, 0, len(l.queue))
+	for _, w := range l.queue {
+		ws = append(ws, w.c.Place)
+	}
+	l.cfg.emit(GrantInfo{At: at, ThreadID: c.T.ID(), Place: c.Place, Class: High, Waiters: ws})
+}

@@ -1,0 +1,148 @@
+package simlock
+
+import (
+	"fmt"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+// TicketLock models the FCFS ticket lock of paper §5.1 (Fig. 4): each
+// acquirer takes a ticket with one fetch-and-increment and busy-waits until
+// now_serving reaches it. Arbitration is strictly first-come-first-served;
+// the memory hierarchy affects only the hand-off latency (the next holder
+// observes the incremented now_serving after a line transfer from the
+// releaser), never the order.
+type TicketLock struct {
+	cfg        *Config
+	nextTicket uint64
+	nowServing uint64
+	locked     bool
+	holder     *Ctx
+	line       machine.Place // home of the now_serving line
+	hasOwn     bool
+	waiters    map[uint64]*ticketWaiter
+	name       string
+	// emitGrants controls whether this lock reports acquisitions; the
+	// priority lock disables it for its component locks.
+	emitGrants bool
+	// skipFreeAcquireCharge elides the line-transfer cost of taking the
+	// lock uncontended. The priority lock sets it on ticket_B: its line
+	// is fetched concurrently with ticket_H's on the same path.
+	skipFreeAcquireCharge bool
+}
+
+type ticketWaiter struct {
+	c         *Ctx
+	spinStart sim.Time
+}
+
+// NewTicketLock returns a FCFS ticket lock.
+func NewTicketLock(cfg *Config) *TicketLock {
+	return &TicketLock{
+		cfg:        cfg,
+		waiters:    make(map[uint64]*ticketWaiter),
+		name:       "Ticket",
+		emitGrants: true,
+	}
+}
+
+// Name returns the figure label of the lock.
+func (l *TicketLock) Name() string { return l.name }
+
+// Holder returns the current owner context, or nil when free.
+func (l *TicketLock) Holder() *Ctx { return l.holder }
+
+// HasWaiters reports whether any thread is queued behind the current
+// holder. The priority lock uses it to detect "last high-priority thread".
+func (l *TicketLock) HasWaiters() bool { return len(l.waiters) > 0 }
+
+// ContenderCount returns the number of queued threads.
+func (l *TicketLock) ContenderCount() int { return len(l.waiters) }
+
+// WaiterPlaces snapshots the placements of queued threads.
+func (l *TicketLock) WaiterPlaces() []machine.Place {
+	ps := make([]machine.Place, 0, len(l.waiters))
+	for _, w := range l.waiters {
+		ps = append(ps, w.c.Place)
+	}
+	return ps
+}
+
+// Acquire takes a ticket and blocks until served. The class is ignored;
+// priority composition happens in PriorityLock.
+func (l *TicketLock) Acquire(c *Ctx, _ Class) {
+	eng := l.cfg.Eng
+	my := l.nextTicket
+	l.nextTicket++
+	if my == l.nowServing && !l.locked {
+		// Free lock: pay the fetch-and-increment line transfer and go.
+		l.locked = true
+		l.holder = c
+		cost := int64(0)
+		if l.hasOwn && !l.skipFreeAcquireCharge {
+			cost = l.cfg.Cost.Transfer(l.line, c.Place)
+		}
+		l.line = c.Place
+		l.hasOwn = true
+		if cost > 0 {
+			c.T.Sleep(cost)
+		}
+		l.emit(c, eng.Now())
+		return
+	}
+	l.waiters[my] = &ticketWaiter{c: c, spinStart: eng.Now()}
+	c.T.Park()
+	if l.holder != c {
+		panic("simlock: ticket lock woke a thread out of turn")
+	}
+}
+
+// Release increments now_serving and hands the lock to the next ticket
+// holder, if one is already waiting. Unlike a pthread mutex, any context
+// may release (the priority lock passes ownership of its blocking ticket
+// between high-priority threads, per Fig. 7).
+func (l *TicketLock) Release(c *Ctx, _ Class) {
+	if !l.locked {
+		panic(fmt.Sprintf("simlock: release of unlocked %s by %q", l.name, c.T.Name()))
+	}
+	eng := l.cfg.Eng
+	now := eng.Now()
+	l.locked = false
+	l.holder = nil
+	l.nowServing++
+	l.line = c.Place
+	l.hasOwn = true
+
+	w, ok := l.waiters[l.nowServing]
+	if !ok {
+		return // next ticket holder has not arrived yet (or none issued)
+	}
+	delete(l.waiters, l.nowServing)
+	// Hand-off: the waiter observes the new now_serving after the line
+	// transfer, at its next spin check.
+	at := now + l.cfg.Cost.Transfer(c.Place, w.c.Place)
+	if p := l.cfg.Cost.SpinCheckPeriod; p > 0 && at > w.spinStart {
+		k := (at - w.spinStart + p - 1) / p
+		at = w.spinStart + k*p
+	}
+	l.locked = true
+	l.holder = w.c
+	l.line = w.c.Place
+	eng.At(at, func() {
+		l.emit(w.c, at)
+		w.c.T.Unpark(at)
+	})
+}
+
+func (l *TicketLock) emit(c *Ctx, at sim.Time) {
+	if l.emitGrants && l.cfg.OnGrant != nil {
+		l.cfg.emit(GrantInfo{
+			At:       at,
+			ThreadID: c.T.ID(),
+			Place:    c.Place,
+			Class:    High,
+			Waiters:  l.WaiterPlaces(),
+		})
+	}
+}

@@ -1,0 +1,248 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"mpicontend/internal/simlock"
+)
+
+func TestProcGrid(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		4:  {2, 2, 1},
+		8:  {2, 2, 2},
+		12: {3, 2, 2},
+		64: {4, 4, 4},
+	}
+	for n, want := range cases {
+		px, py, pz := procGrid(n)
+		if px*py*pz != n {
+			t.Fatalf("procGrid(%d) = %d,%d,%d does not multiply to n", n, px, py, pz)
+		}
+		got := [3]int{px, py, pz}
+		// Accept any permutation of the expected balanced factors.
+		sort3 := func(a [3]int) [3]int {
+			if a[0] < a[1] {
+				a[0], a[1] = a[1], a[0]
+			}
+			if a[1] < a[2] {
+				a[1], a[2] = a[2], a[1]
+			}
+			if a[0] < a[1] {
+				a[0], a[1] = a[1], a[0]
+			}
+			return a
+		}
+		if sort3(got) != sort3(want) {
+			t.Fatalf("procGrid(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// serialReference computes the same Jacobi sweep in plain Go.
+func serialReference(nx, ny, nz, iters int) []float64 {
+	idx := func(x, y, z int) int { return (z*(ny+2)+y)*(nx+2) + x }
+	cur := make([]float64, (nx+2)*(ny+2)*(nz+2))
+	next := make([]float64, len(cur))
+	for z := 1; z <= nz; z++ {
+		for y := 1; y <= ny; y++ {
+			for x := 1; x <= nx; x++ {
+				cur[idx(x, y, z)] = float64(((x-1)*31+(y-1)*17+(z-1)*7)%97) / 97.0
+			}
+		}
+	}
+	const alpha = 0.1
+	for it := 0; it < iters; it++ {
+		for z := 1; z <= nz; z++ {
+			for y := 1; y <= ny; y++ {
+				for x := 1; x <= nx; x++ {
+					i := idx(x, y, z)
+					lap := cur[i-1] + cur[i+1] +
+						cur[i-(nx+2)] + cur[i+(nx+2)] +
+						cur[i-(nx+2)*(ny+2)] + cur[i+(nx+2)*(ny+2)] -
+						6*cur[i]
+					next[i] = cur[i] + alpha*lap
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([]float64, nx*ny*nz)
+	for z := 1; z <= nz; z++ {
+		for y := 1; y <= ny; y++ {
+			for x := 1; x <= nx; x++ {
+				out[((z-1)*ny+(y-1))*nx+(x-1)] = cur[idx(x, y, z)]
+			}
+		}
+	}
+	return out
+}
+
+func TestSingleProcMatchesSerial(t *testing.T) {
+	p := Params{Lock: simlock.KindNone, NX: 8, NY: 8, NZ: 8, Iters: 5, KeepField: true}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialReference(8, 8, 8, 5)
+	for i := range want {
+		if res.Field[i] != want[i] {
+			t.Fatalf("field[%d] = %v, want %v", i, res.Field[i], want[i])
+		}
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct{ procs, threads int }{
+		{2, 1}, {4, 2}, {8, 2}, {1, 4},
+	} {
+		p := Params{Lock: simlock.KindTicket, Procs: cfg.procs, Threads: cfg.threads,
+			NX: 8, NY: 8, NZ: 8, Iters: 4, KeepField: true}
+		res, err := Run(p)
+		if err != nil {
+			t.Fatalf("procs=%d threads=%d: %v", cfg.procs, cfg.threads, err)
+		}
+		want := serialReference(8, 8, 8, 4)
+		for i := range want {
+			if math.Abs(res.Field[i]-want[i]) > 1e-12 {
+				t.Fatalf("procs=%d threads=%d: field[%d] = %v, want %v",
+					cfg.procs, cfg.threads, i, res.Field[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllLocksProduceSameField(t *testing.T) {
+	var checksums []float64
+	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority} {
+		p := Params{Lock: k, Procs: 4, Threads: 2, NX: 8, NY: 8, NZ: 8, Iters: 3}
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checksums = append(checksums, res.Checksum)
+	}
+	for i := 1; i < len(checksums); i++ {
+		if checksums[i] != checksums[0] {
+			t.Fatalf("checksums differ across locks: %v", checksums)
+		}
+	}
+}
+
+func TestBreakdownSumsTo100(t *testing.T) {
+	p := Params{Lock: simlock.KindTicket, Procs: 2, Threads: 2,
+		NX: 16, NY: 16, NZ: 16, Iters: 3}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.MPIPct + res.ComputePct + res.SyncPct
+	if math.Abs(sum-100) > 0.01 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+	if res.ComputePct <= 0 || res.MPIPct <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", res)
+	}
+}
+
+func TestComputeShareGrowsWithProblemSize(t *testing.T) {
+	// Fig. 11b: bigger problems per core shift time toward computation.
+	small, err := Run(Params{Lock: simlock.KindTicket, Procs: 4, Threads: 2,
+		NX: 8, NY: 8, NZ: 8, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Params{Lock: simlock.KindTicket, Procs: 4, Threads: 2,
+		NX: 32, NY: 32, NZ: 32, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ComputePct <= small.ComputePct {
+		t.Fatalf("compute share did not grow: %.1f%% -> %.1f%%",
+			small.ComputePct, big.ComputePct)
+	}
+}
+
+func TestFairLocksWinSmallProblems(t *testing.T) {
+	// Fig. 11a: for small per-core problems, runtime contention dominates
+	// and fair locks beat the mutex.
+	run := func(k simlock.Kind) float64 {
+		res, err := Run(Params{Lock: k, Procs: 4, Threads: 8,
+			NX: 16, NY: 16, NZ: 16, Iters: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFlops
+	}
+	m, tk := run(simlock.KindMutex), run(simlock.KindTicket)
+	t.Logf("small stencil: mutex %.3f GF, ticket %.3f GF", m, tk)
+	if tk <= m {
+		t.Errorf("ticket (%.3f) should beat mutex (%.3f) on small problems", tk, m)
+	}
+}
+
+func TestInvalidGeometryRejected(t *testing.T) {
+	_, err := Run(Params{Lock: simlock.KindNone, Procs: 3, NX: 8, NY: 8, NZ: 8})
+	if err == nil {
+		t.Fatal("indivisible grid accepted")
+	}
+	_, err = Run(Params{Lock: simlock.KindNone, Procs: 1, Threads: 3, NX: 8, NY: 8, NZ: 8})
+	if err == nil {
+		t.Fatal("indivisible thread slab accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := Params{Lock: simlock.KindMutex, Procs: 2, Threads: 4, NX: 8, NY: 8, NZ: 8, Iters: 3}
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimNs != b.SimNs || a.Checksum != b.Checksum {
+		t.Fatal("nondeterministic stencil run")
+	}
+}
+
+func TestFunneledMatchesSerial(t *testing.T) {
+	p := Params{Lock: simlock.KindTicket, Procs: 4, Threads: 2,
+		NX: 8, NY: 8, NZ: 8, Iters: 4, KeepField: true, Funneled: true}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialReference(8, 8, 8, 4)
+	for i := range want {
+		if math.Abs(res.Field[i]-want[i]) > 1e-12 {
+			t.Fatalf("funneled field[%d] = %v, want %v", i, res.Field[i], want[i])
+		}
+	}
+}
+
+func TestFunneledVsMultipleTradeoff(t *testing.T) {
+	// Funneled pays no lock costs but serializes communication into one
+	// thread; multiple parallelizes communication but pays thread safety.
+	// Both must at least complete, and for this small problem, funneled
+	// should beat the mutex-guarded multiple (the paper's motivation for
+	// fixing arbitration rather than abandoning THREAD_MULTIPLE).
+	fun, err := Run(Params{Lock: simlock.KindMutex, Procs: 4, Threads: 8,
+		NX: 16, NY: 16, NZ: 16, Iters: 4, Funneled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := Run(Params{Lock: simlock.KindMutex, Procs: 4, Threads: 8,
+		NX: 16, NY: 16, NZ: 16, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("funneled %.3f GF vs multiple(mutex) %.3f GF", fun.GFlops, mul.GFlops)
+	if fun.GFlops <= mul.GFlops*0.8 {
+		t.Errorf("funneled (%.3f) unexpectedly far below mutex multiple (%.3f)",
+			fun.GFlops, mul.GFlops)
+	}
+}

@@ -1,0 +1,210 @@
+// Package trace implements the paper's profiling machinery: the §4.3
+// arbitration-fairness estimators (Pc, Ps and their bias factors against a
+// fair arbitration) and the §4.4 dangling-request profiler sampled at lock
+// acquisition granularity.
+package trace
+
+import (
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+)
+
+// FairnessAnalyzer consumes the lock-grant stream and computes the paper's
+// §4.3 estimators:
+//
+//	Pc — probability that the same thread reacquires the lock successively
+//	     (core level);
+//	Ps — probability that the new owner runs on the same socket as the
+//	     previous owner (socket level);
+//
+// each measured for the observed arbitration and for a hypothetical fair
+// arbitration over the same waiting sets (X_l = 1/T_l, Y_l = T_{j,l}/ΣT_i).
+// BiasFactor* = P_observed / P_fair; a fair lock scores 1.
+type FairnessAnalyzer struct {
+	havePrev  bool
+	prevID    int
+	prevPlace machine.Place
+
+	n           int     // L: contended acquisitions counted
+	sumSameCore float64 // Σ X_l (observed)
+	sumSameSock float64 // Σ Y_l (observed)
+	sumFairCore float64 // Σ 1/T_l
+	sumFairSock float64 // Σ T_{j,l}/ΣT_i
+}
+
+// Observe processes one grant. Grants with an empty waiting set are
+// uncontended hand-offs and are skipped: arbitration is only defined when
+// there is a choice to make.
+func (f *FairnessAnalyzer) Observe(gi simlock.GrantInfo) {
+	if !f.havePrev {
+		f.havePrev = true
+		f.prevID = gi.ThreadID
+		f.prevPlace = gi.Place
+		return
+	}
+	// The candidate set for acquisition l is the new owner plus everyone
+	// still waiting when it won.
+	total := len(gi.Waiters) + 1
+	if total < 2 {
+		// No competition: record owner and move on.
+		f.prevID = gi.ThreadID
+		f.prevPlace = gi.Place
+		return
+	}
+	f.n++
+	if gi.ThreadID == f.prevID {
+		f.sumSameCore++
+	}
+	if gi.Place.SameSocket(f.prevPlace) {
+		f.sumSameSock++
+	}
+	f.sumFairCore += 1.0 / float64(total)
+	onPrevSocket := 0
+	if gi.Place.SameSocket(f.prevPlace) {
+		onPrevSocket++
+	}
+	for _, w := range gi.Waiters {
+		if w.SameSocket(f.prevPlace) {
+			onPrevSocket++
+		}
+	}
+	f.sumFairSock += float64(onPrevSocket) / float64(total)
+
+	f.prevID = gi.ThreadID
+	f.prevPlace = gi.Place
+}
+
+// Samples returns the number of contended acquisitions analysed.
+func (f *FairnessAnalyzer) Samples() int { return f.n }
+
+// Pc returns the observed same-core reacquisition probability.
+func (f *FairnessAnalyzer) Pc() float64 { return ratio(f.sumSameCore, f.n) }
+
+// Ps returns the observed same-socket probability.
+func (f *FairnessAnalyzer) Ps() float64 { return ratio(f.sumSameSock, f.n) }
+
+// FairPc returns the fair-arbitration baseline for Pc.
+func (f *FairnessAnalyzer) FairPc() float64 { return ratio(f.sumFairCore, f.n) }
+
+// FairPs returns the fair-arbitration baseline for Ps.
+func (f *FairnessAnalyzer) FairPs() float64 { return ratio(f.sumFairSock, f.n) }
+
+// BiasFactorCore returns Pc / FairPc (1 means fair).
+func (f *FairnessAnalyzer) BiasFactorCore() float64 {
+	if fp := f.FairPc(); fp > 0 {
+		return f.Pc() / fp
+	}
+	return 0
+}
+
+// BiasFactorSocket returns Ps / FairPs (1 means fair).
+func (f *FairnessAnalyzer) BiasFactorSocket() float64 {
+	if fp := f.FairPs(); fp > 0 {
+		return f.Ps() / fp
+	}
+	return 0
+}
+
+func ratio(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DanglingProfiler implements the §4.4 metric: the number of requests that
+// are completed but not yet freed, sampled at every lock acquisition, and
+// averaged over the run. The count source is provided by the MPI runtime.
+type DanglingProfiler struct {
+	// Count returns the current number of dangling requests.
+	Count func() int
+
+	samples int64
+	sum     int64
+	max     int64
+}
+
+// Observe samples the metric; wire it to a lock's OnGrant.
+func (d *DanglingProfiler) Observe(simlock.GrantInfo) {
+	if d.Count == nil {
+		return
+	}
+	c := int64(d.Count())
+	d.samples++
+	d.sum += c
+	if c > d.max {
+		d.max = c
+	}
+}
+
+// Average returns the mean number of dangling requests per sample.
+func (d *DanglingProfiler) Average() float64 {
+	if d.samples == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.samples)
+}
+
+// Max returns the largest sampled value.
+func (d *DanglingProfiler) Max() int64 { return d.max }
+
+// SamplesTaken returns the number of samples recorded.
+func (d *DanglingProfiler) SamplesTaken() int64 { return d.samples }
+
+// AcquisitionCounter tallies acquisitions per thread, useful for
+// starvation checks.
+type AcquisitionCounter struct {
+	PerThread map[int]int
+	PerClass  map[simlock.Class]int
+}
+
+// NewAcquisitionCounter returns an empty counter.
+func NewAcquisitionCounter() *AcquisitionCounter {
+	return &AcquisitionCounter{
+		PerThread: make(map[int]int),
+		PerClass:  make(map[simlock.Class]int),
+	}
+}
+
+// Observe tallies one grant.
+func (a *AcquisitionCounter) Observe(gi simlock.GrantInfo) {
+	a.PerThread[gi.ThreadID]++
+	a.PerClass[gi.Class]++
+}
+
+// Total returns the number of grants observed.
+func (a *AcquisitionCounter) Total() int {
+	t := 0
+	for _, c := range a.PerThread {
+		t += c
+	}
+	return t
+}
+
+// Spread returns max-min acquisitions across threads that acquired at
+// least once plus the given thread ids (so fully starved threads count 0).
+func (a *AcquisitionCounter) Spread(threadIDs []int) int {
+	if len(threadIDs) == 0 {
+		return 0
+	}
+	min, max := 1<<62, 0
+	for _, id := range threadIDs {
+		c := a.PerThread[id]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max - min
+}
+
+// Multi fans one grant stream out to several observers.
+func Multi(obs ...func(simlock.GrantInfo)) simlock.GrantFunc {
+	return func(gi simlock.GrantInfo) {
+		for _, o := range obs {
+			o(gi)
+		}
+	}
+}

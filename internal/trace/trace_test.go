@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+)
+
+func place(sock, core int) machine.Place { return machine.Place{Node: 0, Socket: sock, Core: core} }
+
+func grant(id int, p machine.Place, waiters ...machine.Place) simlock.GrantInfo {
+	return simlock.GrantInfo{ThreadID: id, Place: p, Waiters: waiters}
+}
+
+func TestFairnessAllSameThread(t *testing.T) {
+	var f FairnessAnalyzer
+	w := []machine.Place{place(0, 1), place(1, 0)}
+	for i := 0; i < 10; i++ {
+		f.Observe(grant(0, place(0, 0), w...))
+	}
+	if f.Samples() != 9 { // first grant only seeds prev
+		t.Fatalf("samples = %d, want 9", f.Samples())
+	}
+	if f.Pc() != 1.0 {
+		t.Fatalf("Pc = %v, want 1", f.Pc())
+	}
+	if f.Ps() != 1.0 {
+		t.Fatalf("Ps = %v, want 1", f.Ps())
+	}
+	// Fair baseline with 3 candidates: Pc_fair = 1/3.
+	if math.Abs(f.FairPc()-1.0/3.0) > 1e-9 {
+		t.Fatalf("FairPc = %v, want 1/3", f.FairPc())
+	}
+	if math.Abs(f.BiasFactorCore()-3.0) > 1e-9 {
+		t.Fatalf("BiasFactorCore = %v, want 3", f.BiasFactorCore())
+	}
+}
+
+func TestFairnessRoundRobinIsUnbiased(t *testing.T) {
+	var f FairnessAnalyzer
+	// 4 threads, 2 per socket, perfect round-robin with all others waiting.
+	places := []machine.Place{place(0, 0), place(0, 1), place(1, 0), place(1, 1)}
+	for i := 0; i < 400; i++ {
+		id := i % 4
+		var waiters []machine.Place
+		for j, p := range places {
+			if j != id {
+				waiters = append(waiters, p)
+			}
+		}
+		f.Observe(grant(id, places[id], waiters...))
+	}
+	if f.Pc() != 0 {
+		t.Fatalf("round robin Pc = %v, want 0", f.Pc())
+	}
+	// Fair Pc = 1/4; bias factor = 0 (observed never repeats).
+	if math.Abs(f.FairPc()-0.25) > 1e-9 {
+		t.Fatalf("FairPc = %v", f.FairPc())
+	}
+	// Socket: round robin 0,1,2,3: successive owners alternate sockets
+	// except 0->1 and 2->3 transitions: Ps = 1/2... wait: 0(s0)->1(s0)
+	// same, 1->2 diff, 2->3 same, 3->0 diff: Ps = 0.5. Fair Ps = 0.5.
+	if math.Abs(f.BiasFactorSocket()-1.0) > 0.01 {
+		t.Fatalf("BiasFactorSocket = %v, want ~1", f.BiasFactorSocket())
+	}
+}
+
+func TestFairnessSkipsUncontended(t *testing.T) {
+	var f FairnessAnalyzer
+	f.Observe(grant(0, place(0, 0)))
+	f.Observe(grant(0, place(0, 0))) // no waiters: skipped
+	f.Observe(grant(0, place(0, 0)))
+	if f.Samples() != 0 {
+		t.Fatalf("uncontended grants were counted: %d", f.Samples())
+	}
+	// But prev tracking still advances: a contended grant by thread 1
+	// right after thread 0 must not be counted as same-core.
+	f.Observe(grant(1, place(0, 1), place(1, 0)))
+	if f.Samples() != 1 || f.Pc() != 0 {
+		t.Fatalf("samples=%d Pc=%v", f.Samples(), f.Pc())
+	}
+}
+
+func TestFairnessEmpty(t *testing.T) {
+	var f FairnessAnalyzer
+	if f.Pc() != 0 || f.Ps() != 0 || f.BiasFactorCore() != 0 || f.BiasFactorSocket() != 0 {
+		t.Fatal("empty analyzer should report zeros")
+	}
+}
+
+func TestDanglingProfiler(t *testing.T) {
+	vals := []int{0, 5, 10, 5}
+	i := 0
+	d := DanglingProfiler{Count: func() int { v := vals[i%len(vals)]; i++; return v }}
+	for k := 0; k < 4; k++ {
+		d.Observe(simlock.GrantInfo{})
+	}
+	if d.Average() != 5 {
+		t.Fatalf("avg = %v, want 5", d.Average())
+	}
+	if d.Max() != 10 {
+		t.Fatalf("max = %v, want 10", d.Max())
+	}
+	if d.SamplesTaken() != 4 {
+		t.Fatalf("samples = %d", d.SamplesTaken())
+	}
+}
+
+func TestDanglingProfilerNilCount(t *testing.T) {
+	var d DanglingProfiler
+	d.Observe(simlock.GrantInfo{})
+	if d.SamplesTaken() != 0 || d.Average() != 0 {
+		t.Fatal("nil Count must be a no-op")
+	}
+}
+
+func TestAcquisitionCounter(t *testing.T) {
+	a := NewAcquisitionCounter()
+	a.Observe(simlock.GrantInfo{ThreadID: 1, Class: simlock.High})
+	a.Observe(simlock.GrantInfo{ThreadID: 1, Class: simlock.Low})
+	a.Observe(simlock.GrantInfo{ThreadID: 2, Class: simlock.High})
+	if a.Total() != 3 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	if a.PerThread[1] != 2 || a.PerThread[2] != 1 {
+		t.Fatalf("per-thread = %v", a.PerThread)
+	}
+	if a.PerClass[simlock.High] != 2 || a.PerClass[simlock.Low] != 1 {
+		t.Fatalf("per-class = %v", a.PerClass)
+	}
+	if got := a.Spread([]int{1, 2, 3}); got != 2 {
+		t.Fatalf("spread = %d, want 2 (thread 3 starved)", got)
+	}
+	if a.Spread(nil) != 0 {
+		t.Fatal("empty spread should be 0")
+	}
+}
+
+func TestMultiFanout(t *testing.T) {
+	n1, n2 := 0, 0
+	fn := Multi(
+		func(simlock.GrantInfo) { n1++ },
+		func(simlock.GrantInfo) { n2++ },
+	)
+	fn(simlock.GrantInfo{})
+	fn(simlock.GrantInfo{})
+	if n1 != 2 || n2 != 2 {
+		t.Fatalf("fanout counts %d %d", n1, n2)
+	}
+}
+
+func TestTimelineRecorder(t *testing.T) {
+	var tr TimelineRecorder
+	for i := 0; i < 10; i++ {
+		tr.Observe(simlock.GrantInfo{At: int64(i * 100), ThreadID: i % 2,
+			Place: place(0, i%2)})
+	}
+	if tr.Grants() != 10 {
+		t.Fatalf("grants = %d", tr.Grants())
+	}
+	out := tr.Render(20)
+	if !strings.Contains(out, "thread 0") || !strings.Contains(out, "thread 1") {
+		t.Fatalf("render missing threads:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("shares wrong:\n%s", out)
+	}
+}
+
+func TestTimelineMonopolyMetrics(t *testing.T) {
+	var tr TimelineRecorder
+	// 8 grants to thread 0, then 2 to thread 1.
+	for i := 0; i < 8; i++ {
+		tr.Observe(simlock.GrantInfo{At: int64(i), ThreadID: 0, Place: place(0, 0)})
+	}
+	for i := 8; i < 10; i++ {
+		tr.Observe(simlock.GrantInfo{At: int64(i), ThreadID: 1, Place: place(0, 1)})
+	}
+	if got := tr.MaxShare(); got != 0.8 {
+		t.Fatalf("MaxShare = %v", got)
+	}
+	if got := tr.LongestRun(); got != 8 {
+		t.Fatalf("LongestRun = %v", got)
+	}
+}
+
+func TestTimelineCap(t *testing.T) {
+	tr := TimelineRecorder{Cap: 5}
+	for i := 0; i < 20; i++ {
+		tr.Observe(simlock.GrantInfo{At: int64(i), ThreadID: i, Place: place(0, 0)})
+	}
+	if tr.Grants() != 5 {
+		t.Fatalf("cap not enforced: %d", tr.Grants())
+	}
+	// Most recent entries retained.
+	if tr.grants[4].thread != 19 {
+		t.Fatalf("tail entry = %d", tr.grants[4].thread)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var tr TimelineRecorder
+	if out := tr.Render(10); !strings.Contains(out, "no grants") {
+		t.Fatalf("empty render = %q", out)
+	}
+	if tr.MaxShare() != 0 || tr.LongestRun() != 0 {
+		t.Fatal("empty metrics should be zero")
+	}
+}

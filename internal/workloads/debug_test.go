@@ -1,0 +1,216 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/trace"
+)
+
+// TestDebugGrantStream dissects the receiver-side grant stream under the
+// mutex to understand arbitration composition. Skipped unless -v digging.
+func TestDebugGrantStream(t *testing.T) {
+	var grants []simlock.GrantInfo
+	p := ThroughputParams{
+		Lock: simlock.KindMutex, Threads: 8, MsgBytes: 64,
+		Windows: 4, TraceRank: 1, Binding: machine.Compact,
+	}
+	fairGrab := func(rank int) simlock.GrantFunc {
+		if rank != 1 {
+			return nil
+		}
+		return func(gi simlock.GrantInfo) {
+			ws := make([]machine.Place, len(gi.Waiters))
+			copy(ws, gi.Waiters)
+			gi.Waiters = ws
+			grants = append(grants, gi)
+		}
+	}
+	_ = fairGrab
+	// Re-run manually to capture raw grants.
+	r, err := ThroughputWithHook(p, fairGrab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rate %.0f", r.RateMsgsPerSec)
+	total := len(grants)
+	contended, same, sameContended := 0, 0, 0
+	waiterHist := map[int]int{}
+	for i := 1; i < total; i++ {
+		w := len(grants[i-1].Waiters)
+		waiterHist[w]++
+		if grants[i].ThreadID == grants[i-1].ThreadID {
+			same++
+		}
+		if w > 0 {
+			contended++
+			if grants[i].ThreadID == grants[i-1].ThreadID {
+				sameContended++
+			}
+		}
+	}
+	t.Logf("grants=%d contended=%d same=%d sameContended=%d", total, contended, same, sameContended)
+	t.Logf("waiter histogram: %v", waiterHist)
+	var f trace.FairnessAnalyzer
+	for _, g := range grants {
+		f.Observe(g)
+	}
+	t.Logf("Pc=%.3f fairPc=%.3f biasCore=%.2f Ps=%.3f fairPs=%.3f biasSock=%.2f",
+		f.Pc(), f.FairPc(), f.BiasFactorCore(), f.Ps(), f.FairPs(), f.BiasFactorSocket())
+
+	// Inter-grant gap histogram: who wins after a release? ~<200ns gaps
+	// are spinner/steal wins, ~2500 gaps are futex-wake handoffs.
+	gapHist := map[string]int{}
+	for i := 1; i < total; i++ {
+		gap := grants[i].At - grants[i-1].At
+		var bucket string
+		switch {
+		case gap < 200:
+			bucket = "<200"
+		case gap < 600:
+			bucket = "200-600"
+		case gap < 1500:
+			bucket = "600-1500"
+		case gap < 3500:
+			bucket = "1500-3500"
+		default:
+			bucket = ">3500"
+		}
+		gapHist[bucket]++
+	}
+	t.Logf("gap histogram: %v", gapHist)
+	perThread := map[int]int{}
+	for _, g := range grants {
+		perThread[g.ThreadID]++
+	}
+	t.Logf("grants per thread: %v", perThread)
+}
+
+// TestDebugRMAGrants dissects rank-0 lock traffic in the RMA benchmark.
+func TestDebugRMAGrants(t *testing.T) {
+	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket} {
+		var grants []simlock.GrantInfo
+		p := RMAParams{Lock: k, Op: OpPut, ElemBytes: 64, Ops: 8}
+		p = p.withDefaults()
+		r, err := rmaWithHook(p, func(rank int) simlock.GrantFunc {
+			if rank != 0 {
+				return nil
+			}
+			return func(gi simlock.GrantInfo) { grants = append(grants, gi) }
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := map[int]int{}
+		classes := map[simlock.Class]int{}
+		for _, g := range grants {
+			per[g.ThreadID]++
+			classes[g.Class]++
+		}
+		t.Logf("%v: rate=%.0f grants=%d perThread=%v classes=%v simNs=%d",
+			k, r.RateElemPerSec, len(grants), per, classes, r.SimNs)
+	}
+}
+
+// TestDebugN2NClasses inspects grant class composition under the priority
+// lock in the N2N benchmark.
+func TestDebugN2NClasses(t *testing.T) {
+	for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindPriority} {
+		var grants []simlock.GrantInfo
+		p := N2NParams{Lock: k, Procs: 4, Threads: 8, MsgBytes: 64, Windows: 6, Mode: N2NStream}
+		p.onGrant = func(rank int) simlock.GrantFunc {
+			if rank != 0 {
+				return nil
+			}
+			return func(gi simlock.GrantInfo) { grants = append(grants, gi) }
+		}
+		r, err := N2N(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := map[simlock.Class]int{}
+		var maxGap, sumGap int64
+		for i, g := range grants {
+			classes[g.Class]++
+			if i > 0 {
+				gap := g.At - grants[i-1].At
+				sumGap += gap
+				if gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		t.Logf("%v: rate=%.0f grants=%d classes=%v avgGap=%d maxGap=%d unexpected=%d",
+			k, r.RateMsgsPerSec, len(grants), classes,
+			sumGap/int64(len(grants)), maxGap, r.UnexpectedHits)
+	}
+}
+
+// TestDebugN2NWindowDepth sweeps the in-flight window to find where the
+// priority lock's request-generation promotion pays off.
+func TestDebugN2NWindowDepth(t *testing.T) {
+	for _, win := range []int{3, 6, 9, 18} {
+		var line string
+		for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindPriority} {
+			r, err := N2N(N2NParams{Lock: k, Procs: 4, Threads: 8, MsgBytes: 64,
+				Window: win, Windows: 12, Mode: N2NStream})
+			if err != nil {
+				t.Fatal(err)
+			}
+			line += k.String() + "=" + itoa(int64(r.RateMsgsPerSec)) + " unexp=" + itoa(r.UnexpectedHits) + "  "
+		}
+		t.Logf("window=%d: %s", win, line)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestDebugN2NTagged tries per-thread tagged pairing (shallow match pools).
+func TestDebugN2NTagged(t *testing.T) {
+	for _, win := range []int{3, 6, 12} {
+		var line string
+		for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindPriority} {
+			r, err := N2N(N2NParams{Lock: k, Procs: 4, Threads: 8, MsgBytes: 64,
+				Window: win, Windows: 12, Mode: N2NStream, PerThreadTags: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			line += k.String() + "=" + itoa(int64(r.RateMsgsPerSec)) + " unexp=" + itoa(r.UnexpectedHits) + "  "
+		}
+		t.Logf("tagged window=%d: %s", win, line)
+	}
+}
+
+// TestDebugN2NFreeRun tries free-running send windows: sends gated only by
+// send completion, receives reposted independently.
+func TestDebugN2NFreeRun(t *testing.T) {
+	for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindPriority, simlock.KindMutex} {
+		r, err := N2N(N2NParams{Lock: k, Procs: 4, Threads: 8, MsgBytes: 64,
+			Window: 9, Windows: 12, Mode: N2NFreeRun})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("freerun %v: rate=%.0f unexp=%d", k, r.RateMsgsPerSec, r.UnexpectedHits)
+	}
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi"
+	"mpicontend/internal/simlock"
+)
+
+// LatencyParams configures the multithreaded ping-pong latency benchmark
+// derived from osu_latency (paper §6.1.1): every thread on rank 0 ping-pongs
+// with rank 1; messages are untagged so any pong satisfies any thread.
+type LatencyParams struct {
+	Lock     simlock.Kind
+	Binding  machine.Binding
+	Threads  int
+	MsgBytes int64
+	// Iters is the number of ping-pongs per thread.
+	Iters int
+	Seed  uint64
+}
+
+func (p LatencyParams) withDefaults() LatencyParams {
+	if p.Threads <= 0 {
+		p.Threads = 1
+	}
+	if p.MsgBytes <= 0 {
+		p.MsgBytes = 1
+	}
+	if p.Iters <= 0 {
+		p.Iters = 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// LatencyResult reports the average one-way latency (half the round trip),
+// averaged across threads and iterations, in microseconds.
+type LatencyResult struct {
+	AvgOneWayUs float64
+	SimNs       int64
+}
+
+// Latency runs the multithreaded latency benchmark.
+func Latency(p LatencyParams) (LatencyResult, error) {
+	p = p.withDefaults()
+	var res LatencyResult
+	w, err := mpi.NewWorld(mpi.Config{
+		Topo:    machine.Nehalem2x4(2),
+		Lock:    p.Lock,
+		Binding: p.Binding,
+		Seed:    p.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	c := w.Comm()
+	var totalRT int64 // summed round-trip ns across threads
+	var endAt int64
+	for t := 0; t < p.Threads; t++ {
+		w.Spawn(0, "ping", func(th *mpi.Thread) {
+			for i := 0; i < p.Iters; i++ {
+				start := th.S.Now()
+				th.Send(c, 1, 0, p.MsgBytes, nil)
+				th.Recv(c, 1, 1)
+				totalRT += th.S.Now() - start
+			}
+			if th.S.Now() > endAt {
+				endAt = th.S.Now()
+			}
+		})
+		w.Spawn(1, "pong", func(th *mpi.Thread) {
+			for i := 0; i < p.Iters; i++ {
+				th.Recv(c, 0, 0)
+				th.Send(c, 0, 1, p.MsgBytes, nil)
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		return res, fmt.Errorf("latency(%v,%dB,%dt): %w", p.Lock, p.MsgBytes, p.Threads, err)
+	}
+	n := int64(p.Threads) * int64(p.Iters)
+	res.AvgOneWayUs = float64(totalRT) / float64(n) / 2 / 1000
+	res.SimNs = endAt
+	return res, nil
+}

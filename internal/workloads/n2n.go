@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi"
+	"mpicontend/internal/simlock"
+)
+
+// N2NMode selects how each thread structures its message stream.
+type N2NMode int
+
+const (
+	// N2NBatch posts a window of sends, then a window of receives, and
+	// completes them with Waitall — the structure of the paper's
+	// benchmark, which derives from the windowed throughput benchmark.
+	N2NBatch N2NMode = iota
+	// N2NStream keeps a sliding window: wait for the oldest request,
+	// re-issue its replacement (fully self-clocked continuous stream).
+	N2NStream
+	// N2NFreeRun replenishes sends on send completion and receives on
+	// receive completion, independently.
+	N2NFreeRun
+)
+
+// String names the mode.
+func (m N2NMode) String() string {
+	switch m {
+	case N2NBatch:
+		return "batch"
+	case N2NStream:
+		return "stream"
+	default:
+		return "freerun"
+	}
+}
+
+// N2NParams configures the all-to-all streaming benchmark of §5.2: every
+// process runs a team of threads, each streaming windows of messages to and
+// from all other processes. Unlike the point-to-point benchmark, a thread's
+// receive can only match messages from the specific peer it posted for, so
+// late posting (a starving main path) sends traffic through the unexpected
+// queue and delays matching — the case the priority lock targets.
+type N2NParams struct {
+	Lock    simlock.Kind
+	Binding machine.Binding
+	// Procs is the number of processes (paper: 4), one per node.
+	Procs    int
+	Threads  int
+	MsgBytes int64
+	// Window is the number of send (and receive) requests per thread per
+	// cycle; rounded up to a multiple of the peer count.
+	Window  int
+	Windows int
+	Seed    uint64
+	// Mode selects the streaming structure (default N2NBatch, the
+	// paper's shape).
+	Mode N2NMode
+	// PerThreadTags pairs thread t of each rank with thread t of every
+	// peer via tags, making match pools per-thread (shallow) instead of
+	// pooled per-process.
+	PerThreadTags bool
+
+	// onGrant is an extra per-rank grant observer for white-box tests.
+	onGrant func(rank int) simlock.GrantFunc
+}
+
+func (p N2NParams) withDefaults() N2NParams {
+	if p.Procs <= 0 {
+		p.Procs = 4
+	}
+	if p.Threads <= 0 {
+		p.Threads = 4
+	}
+	if p.MsgBytes <= 0 {
+		p.MsgBytes = 1
+	}
+	if p.Window <= 0 {
+		p.Window = 32
+	}
+	if p.Windows <= 0 {
+		p.Windows = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	// Round the window up to a multiple of the peer count so every
+	// (src,dst) pair exchanges the same number of messages per cycle;
+	// otherwise receives posted for a specific peer could outnumber that
+	// peer's sends and the final Waitall would never finish.
+	if peers := p.Procs - 1; peers > 0 && p.Window%peers != 0 {
+		p.Window += peers - p.Window%peers
+	}
+	return p
+}
+
+// N2NResult aggregates the run.
+type N2NResult struct {
+	Messages       int64
+	SimNs          int64
+	RateMsgsPerSec float64
+	UnexpectedHits int64
+}
+
+// N2N runs the all-to-all streaming benchmark.
+func N2N(p N2NParams) (N2NResult, error) {
+	p = p.withDefaults()
+	var res N2NResult
+	w, err := mpi.NewWorld(mpi.Config{
+		Topo:    machine.Nehalem2x4(p.Procs),
+		Lock:    p.Lock,
+		Binding: p.Binding,
+		Seed:    p.Seed,
+		OnGrant: p.onGrant,
+	})
+	if err != nil {
+		return res, err
+	}
+	c := w.Comm()
+	var endAt int64
+	for rank := 0; rank < p.Procs; rank++ {
+		rank := rank
+		for t := 0; t < p.Threads; t++ {
+			t := t
+			w.Spawn(rank, "n2n", func(th *mpi.Thread) {
+				runN2NThread(th, c, p, rank, t, &endAt)
+			})
+		}
+	}
+	if err := w.Run(); err != nil {
+		return res, fmt.Errorf("n2n(%v,%dB): %w", p.Lock, p.MsgBytes, err)
+	}
+	res.Messages = int64(p.Procs) * int64(p.Threads) * int64(p.Window) * int64(p.Windows)
+	res.SimNs = endAt
+	if endAt > 0 {
+		res.RateMsgsPerSec = float64(res.Messages) / (float64(endAt) / 1e9)
+	}
+	for _, pr := range w.Procs {
+		res.UnexpectedHits += pr.UnexpectedHits
+	}
+	return res, nil
+}
+
+// runN2NThread drives one benchmark thread in the configured mode.
+func runN2NThread(th *mpi.Thread, c *mpi.Comm, p N2NParams, rank, t int, endAt *int64) {
+	peers := make([]int, 0, p.Procs-1)
+	for q := 0; q < p.Procs; q++ {
+		if q != rank {
+			peers = append(peers, q)
+		}
+	}
+	tag := 0
+	if p.PerThreadTags {
+		tag = t
+	}
+	stamp := func() {
+		if th.S.Now() > *endAt {
+			*endAt = th.S.Now()
+		}
+	}
+
+	type slot struct {
+		req  *mpi.Request
+		peer int
+		recv bool
+	}
+	issue := func(peer int, recv bool) slot {
+		th.S.Sleep(th.P.Cost().AppPerMessageWork)
+		if recv {
+			return slot{th.Irecv(c, peer, tag), peer, true}
+		}
+		return slot{th.Isend(c, peer, tag, p.MsgBytes, nil), peer, false}
+	}
+
+	switch p.Mode {
+	case N2NBatch:
+		// Sends go first, so arrivals race the receive posting: a thread
+		// starved at the main-path entry posts late and its peers'
+		// messages detour through the unexpected queue (§5.2).
+		rs := make([]*mpi.Request, 0, 2*p.Window)
+		for win := 0; win < p.Windows; win++ {
+			rs = rs[:0]
+			for i := 0; i < p.Window; i++ {
+				s := issue(peers[(i+t)%len(peers)], false)
+				rs = append(rs, s.req)
+			}
+			for i := 0; i < p.Window; i++ {
+				s := issue(peers[(i+t)%len(peers)], true)
+				rs = append(rs, s.req)
+			}
+			th.Waitall(rs)
+			stamp()
+		}
+
+	case N2NStream:
+		var q []slot
+		for i := 0; i < p.Window; i++ {
+			peer := peers[(i+t)%len(peers)]
+			q = append(q, issue(peer, false), issue(peer, true))
+		}
+		remaining := p.Window * (p.Windows - 1)
+		for len(q) > 0 {
+			s := q[0]
+			q = q[1:]
+			th.Wait(s.req)
+			if s.recv && remaining > 0 {
+				remaining--
+				q = append(q, issue(s.peer, false), issue(s.peer, true))
+			}
+			stamp()
+		}
+
+	case N2NFreeRun:
+		var q []slot
+		for i := 0; i < p.Window; i++ {
+			peer := peers[(i+t)%len(peers)]
+			q = append(q, issue(peer, false), issue(peer, true))
+		}
+		sendsLeft := p.Window * (p.Windows - 1)
+		recvsLeft := sendsLeft
+		for len(q) > 0 {
+			s := q[0]
+			q = q[1:]
+			th.Wait(s.req)
+			if s.recv && recvsLeft > 0 {
+				recvsLeft--
+				q = append(q, issue(s.peer, true))
+			} else if !s.recv && sendsLeft > 0 {
+				sendsLeft--
+				q = append(q, issue(s.peer, false))
+			}
+			stamp()
+		}
+	}
+}

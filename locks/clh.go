@@ -1,0 +1,45 @@
+package locks
+
+import "sync/atomic"
+
+// CLH is the Craig–Landin–Hagersten queue lock: FCFS like MCS, but each
+// waiter spins on its *predecessor's* node rather than its own, which
+// suits cache-coherent machines. Acquire returns a token to pass to
+// Release; the token must not be reused until Release returns.
+type CLH struct {
+	tail atomic.Pointer[CLHNode]
+}
+
+// CLHNode is one waiter's queue node.
+type CLHNode struct {
+	locked atomic.Bool
+	pred   *CLHNode
+}
+
+// NewCLH returns a CLH lock, installing the initial released node.
+func NewCLH() *CLH {
+	l := &CLH{}
+	n := &CLHNode{}
+	l.tail.Store(n)
+	return l
+}
+
+// Acquire enqueues n and spins until the predecessor releases.
+func (l *CLH) Acquire(n *CLHNode) {
+	n.locked.Store(true)
+	pred := l.tail.Swap(n)
+	n.pred = pred
+	for i := 0; pred.locked.Load(); i++ {
+		spinYield(i)
+	}
+}
+
+// Release frees the lock; n's predecessor node becomes the caller's node
+// for the next Acquire (standard CLH node recycling is left to the caller:
+// reuse the returned node).
+func (l *CLH) Release(n *CLHNode) *CLHNode {
+	pred := n.pred
+	n.pred = nil
+	n.locked.Store(false)
+	return pred
+}

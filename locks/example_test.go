@@ -1,0 +1,78 @@
+package locks_test
+
+import (
+	"fmt"
+	"sync"
+
+	"mpicontend/locks"
+)
+
+// ExampleTicket uses the FCFS ticket lock as a drop-in sync.Locker.
+func ExampleTicket() {
+	var mu locks.Ticket
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 4000
+}
+
+// ExamplePriority shows the two-level scheme of the paper's Fig. 7: code
+// likely to produce work takes the high path; background polling takes the
+// low path and is overtaken by high-priority acquirers.
+func ExamplePriority() {
+	var mu locks.Priority
+	work := 0
+
+	done := make(chan struct{})
+	go func() { // background poller
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			mu.LockLow()
+			// poll for something...
+			mu.UnlockLow()
+		}
+	}()
+
+	for i := 0; i < 1000; i++ { // main path
+		mu.LockHigh()
+		work++
+		mu.UnlockHigh()
+	}
+	<-done
+	fmt.Println(work)
+	// Output: 1000
+}
+
+// ExampleMCS uses the queue lock with an explicit per-goroutine node.
+func ExampleMCS() {
+	var mu locks.MCS
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var node locks.MCSNode
+			for j := 0; j < 500; j++ {
+				mu.Acquire(&node)
+				counter++
+				mu.Release(&node)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 2000
+}

@@ -1,0 +1,327 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// locker abstracts the flat lock types for shared tests.
+type locker interface {
+	Lock()
+	Unlock()
+}
+
+func flatLocks() map[string]func() locker {
+	return map[string]func() locker{
+		"Ticket":   func() locker { return &Ticket{} },
+		"TAS":      func() locker { return &TAS{} },
+		"TTAS":     func() locker { return &TTAS{} },
+		"Priority": func() locker { return &Priority{} },
+	}
+}
+
+// TestMutualExclusion hammers each lock with goroutines incrementing a
+// plain counter; any exclusion bug loses increments.
+func TestMutualExclusion(t *testing.T) {
+	const goroutines, iters = 8, 2000
+	for name, mk := range flatLocks() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			l := mk()
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*iters {
+				t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+			}
+		})
+	}
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	const goroutines, iters = 8, 2000
+	var m MCS
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n MCSNode
+			for i := 0; i < iters; i++ {
+				m.Acquire(&n)
+				counter++
+				m.Release(&n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+// TestTicketFIFOOrder verifies strict FIFO service order when tickets are
+// taken in a known order (single goroutine takes tickets; helpers serve).
+func TestTicketFIFOOrder(t *testing.T) {
+	var tk Ticket
+	tk.Lock() // hold so later lockers queue
+	const waiters = 6
+	order := make(chan int, waiters)
+	var started sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		started.Add(1)
+		i := i
+		// Serialize ticket issuance so the expected order is known.
+		done := make(chan struct{})
+		go func() {
+			my := tk.next.Add(1) - 1 // take ticket i+1 deterministically
+			started.Done()
+			for tk.serving.Load() != my {
+			}
+			order <- i
+			tk.Unlock()
+			close(done)
+		}()
+		started.Wait()
+		_ = done
+	}
+	tk.Unlock()
+	for i := 0; i < waiters; i++ {
+		if got := <-order; got != i {
+			t.Fatalf("service order[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestTicketHasWaiters(t *testing.T) {
+	var tk Ticket
+	tk.Lock()
+	if tk.HasWaiters() {
+		t.Fatal("no waiters expected")
+	}
+	acquired := make(chan struct{})
+	go func() {
+		tk.Lock()
+		close(acquired)
+		tk.Unlock()
+	}()
+	for !tk.HasWaiters() {
+	}
+	tk.Unlock()
+	<-acquired
+}
+
+// TestPriorityHighOvertakesLow: with the lock held and both a high and a
+// low waiter queued, the high waiter must get it first.
+func TestPriorityHighOvertakesLow(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var p Priority
+		p.LockHigh()
+
+		var order []string
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		lowQueued := make(chan struct{})
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			p.l.Lock() // queue on the low path deterministically
+			close(lowQueued)
+			p.b.Lock()
+			mu.Lock()
+			order = append(order, "low")
+			mu.Unlock()
+			p.UnlockLow()
+		}()
+		<-lowQueued
+		highQueued := make(chan struct{})
+		go func() {
+			defer wg.Done()
+			my := p.h.next.Add(1) - 1
+			close(highQueued)
+			for p.h.serving.Load() != my {
+			}
+			if !p.alreadyBlocked.Load() {
+				p.b.Lock()
+				p.alreadyBlocked.Store(true)
+			}
+			mu.Lock()
+			order = append(order, "high")
+			mu.Unlock()
+			p.UnlockHigh()
+		}()
+		<-highQueued
+		p.UnlockHigh()
+		wg.Wait()
+		if order[0] != "high" {
+			t.Fatalf("trial %d: order = %v, want high first", trial, order)
+		}
+	}
+}
+
+// TestPriorityLowRunsWhenIdle: low acquisitions proceed without high
+// traffic.
+func TestPriorityLowRunsWhenIdle(t *testing.T) {
+	var p Priority
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			p.LockLow()
+			p.UnlockLow()
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// TestPriorityMixedClasses stresses concurrent high and low users.
+func TestPriorityMixedClasses(t *testing.T) {
+	var p Priority
+	var counter atomic.Int64
+	shared := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.LockHigh()
+				shared++
+				p.UnlockHigh()
+				counter.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.LockLow()
+				shared++
+				p.UnlockLow()
+				counter.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 8000 {
+		t.Fatalf("shared = %d, want 8000", shared)
+	}
+}
+
+func TestZeroValuesUsable(t *testing.T) {
+	var tk Ticket
+	tk.Lock()
+	tk.Unlock()
+	var ts TAS
+	ts.Lock()
+	ts.Unlock()
+	var tt TTAS
+	tt.Lock()
+	tt.Unlock()
+	var pr Priority
+	pr.Lock()
+	pr.Unlock()
+	var m MCS
+	var n MCSNode
+	m.Acquire(&n)
+	m.Release(&n)
+}
+
+// Benchmarks: contended acquire/release pairs per lock kind, plus
+// sync.Mutex as the NPTL-analogue baseline.
+func benchLock(b *testing.B, lock, unlock func()) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lock()
+			unlock()
+		}
+	})
+}
+
+func BenchmarkSyncMutex(b *testing.B) {
+	var m sync.Mutex
+	benchLock(b, m.Lock, m.Unlock)
+}
+
+func BenchmarkTicket(b *testing.B) {
+	var t Ticket
+	benchLock(b, t.Lock, t.Unlock)
+}
+
+func BenchmarkTAS(b *testing.B) {
+	var t TAS
+	benchLock(b, t.Lock, t.Unlock)
+}
+
+func BenchmarkTTAS(b *testing.B) {
+	var t TTAS
+	benchLock(b, t.Lock, t.Unlock)
+}
+
+func BenchmarkPriorityHigh(b *testing.B) {
+	var p Priority
+	benchLock(b, p.LockHigh, p.UnlockHigh)
+}
+
+func BenchmarkPriorityLow(b *testing.B) {
+	var p Priority
+	benchLock(b, p.LockLow, p.UnlockLow)
+}
+
+func BenchmarkMCS(b *testing.B) {
+	var m MCS
+	b.RunParallel(func(pb *testing.PB) {
+		var n MCSNode
+		for pb.Next() {
+			m.Acquire(&n)
+			m.Release(&n)
+		}
+	})
+}
+
+func TestCLHMutualExclusion(t *testing.T) {
+	const goroutines, iters = 8, 2000
+	l := NewCLH()
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := &CLHNode{}
+			for i := 0; i < iters; i++ {
+				l.Acquire(n)
+				counter++
+				n = l.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func BenchmarkCLH(b *testing.B) {
+	l := NewCLH()
+	b.RunParallel(func(pb *testing.PB) {
+		n := &CLHNode{}
+		for pb.Next() {
+			l.Acquire(n)
+			n = l.Release(n)
+		}
+	})
+}

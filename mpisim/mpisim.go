@@ -1,0 +1,482 @@
+// Package mpisim is the public facade of the MPI-runtime contention
+// simulator reproducing "MPI+Threads: Runtime Contention and Remedies"
+// (PPoPP'15). It exposes the paper's benchmarks — multithreaded
+// point-to-point throughput and latency, N2N all-to-all streaming, RMA
+// with asynchronous progress, Graph500 BFS, a 3-D stencil, and a genome
+// assembler — over a deterministic discrete-event model of a NUMA cluster,
+// with the critical-section arbitration (pthread mutex, ticket, priority)
+// as the experimental variable.
+//
+// Quick start:
+//
+//	res, err := mpisim.Throughput(mpisim.ThroughputConfig{
+//		Lock: mpisim.Ticket, Threads: 8, MsgBytes: 64,
+//	})
+//	fmt.Printf("%.0f msgs/s\n", res.RateMsgsPerSec)
+package mpisim
+
+import (
+	"fmt"
+
+	"mpicontend/internal/experiments"
+	"mpicontend/internal/genome"
+	"mpicontend/internal/graph500"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/stencil"
+	"mpicontend/internal/workloads"
+)
+
+// Lock selects the critical-section arbitration used by the simulated MPI
+// runtime.
+type Lock int
+
+// Arbitration methods. Mutex is the paper's baseline; Ticket and Priority
+// are its remedies; Single models MPI_THREAD_SINGLE (one thread, no lock);
+// the rest are related-work and ablation variants.
+const (
+	Mutex Lock = iota
+	Ticket
+	Priority
+	Single
+	TAS
+	MCS
+	PrioMutex
+	SocketPriority
+	// Cohort is a NUMA-aware bounded-batch cohort lock (extension).
+	Cohort
+)
+
+// String names the lock as in the paper's figures.
+func (l Lock) String() string { return l.kind().String() }
+
+func (l Lock) kind() simlock.Kind {
+	switch l {
+	case Mutex:
+		return simlock.KindMutex
+	case Ticket:
+		return simlock.KindTicket
+	case Priority:
+		return simlock.KindPriority
+	case Single:
+		return simlock.KindNone
+	case TAS:
+		return simlock.KindTAS
+	case MCS:
+		return simlock.KindMCS
+	case PrioMutex:
+		return simlock.KindPrioMutex
+	case SocketPriority:
+		return simlock.KindSocketPriority
+	case Cohort:
+		return simlock.KindCohort
+	default:
+		panic(fmt.Sprintf("mpisim: unknown lock %d", int(l)))
+	}
+}
+
+// Binding selects how threads are pinned to cores.
+type Binding int
+
+// Thread-to-core binding policies (paper §4.2).
+const (
+	// Compact fills one socket before the next.
+	Compact Binding = iota
+	// Scatter round-robins threads over sockets.
+	Scatter
+)
+
+// String names the binding policy.
+func (b Binding) String() string { return b.binding().String() }
+
+func (b Binding) binding() machine.Binding {
+	if b == Scatter {
+		return machine.Scatter
+	}
+	return machine.Compact
+}
+
+// Granularity selects the critical-section granularity (paper Fig. 1).
+type Granularity int
+
+// Critical-section granularities, coarse to fine.
+const (
+	// Global is the paper's baseline: one critical section per call.
+	Global Granularity = iota
+	// BriefGlobal shrinks the section to the queue updates.
+	BriefGlobal
+	// FineGrain gives the matching queues and NIC separate locks.
+	FineGrain
+	// LockFree models idealized atomic queues.
+	LockFree
+)
+
+// String names the granularity as in Fig. 1.
+func (g Granularity) String() string { return g.gran().String() }
+
+func (g Granularity) gran() mpi.Granularity {
+	switch g {
+	case BriefGlobal:
+		return mpi.GranBrief
+	case FineGrain:
+		return mpi.GranFine
+	case LockFree:
+		return mpi.GranLockFree
+	default:
+		return mpi.GranGlobal
+	}
+}
+
+// ThroughputConfig parametrizes the osu_bw-derived multithreaded
+// throughput benchmark (paper §4.1).
+type ThroughputConfig struct {
+	Lock Lock
+	// Granularity selects the critical-section granularity (default
+	// Global, the paper's baseline).
+	Granularity Granularity
+	// SelectiveWakeup enables event-driven progress (§9 future work).
+	SelectiveWakeup bool
+	Binding         Binding
+	Threads         int
+	MsgBytes        int64
+	// Window is the per-thread request window (default 64, as in the
+	// paper); Windows is how many windows each thread completes.
+	Window  int
+	Windows int
+	// ProcsPerNode: 1 (default) or 2 for the process-per-socket setup.
+	ProcsPerNode int
+	Seed         uint64
+	// Trace enables the §4.3 fairness and §4.4 dangling-request
+	// analyses on the receiver's runtime.
+	Trace bool
+}
+
+// ThroughputResult reports the throughput benchmark.
+type ThroughputResult struct {
+	Messages       int64
+	SimNs          int64
+	RateMsgsPerSec float64
+	// BiasCore and BiasSocket are the §4.3 bias factors (1 = fair);
+	// populated when Trace was set.
+	BiasCore, BiasSocket float64
+	// DanglingAvg is the §4.4 metric; populated when Trace was set.
+	DanglingAvg float64
+}
+
+// Throughput runs the multithreaded point-to-point throughput benchmark.
+func Throughput(c ThroughputConfig) (ThroughputResult, error) {
+	tr := -1
+	if c.Trace {
+		tr = c.ProcsPerNode // first receiver rank
+		if tr == 0 {
+			tr = 1
+		}
+	}
+	r, err := workloads.Throughput(workloads.ThroughputParams{
+		Lock: c.Lock.kind(), Granularity: c.Granularity.gran(),
+		SelectiveWakeup: c.SelectiveWakeup, Binding: c.Binding.binding(),
+		Threads: c.Threads, MsgBytes: c.MsgBytes,
+		Window: c.Window, Windows: c.Windows,
+		ProcsPerNode: c.ProcsPerNode, Seed: c.Seed, TraceRank: tr,
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	return ThroughputResult{
+		Messages: r.Messages, SimNs: r.SimNs, RateMsgsPerSec: r.RateMsgsPerSec,
+		BiasCore: r.BiasCore, BiasSocket: r.BiasSocket, DanglingAvg: r.DanglingAvg,
+	}, nil
+}
+
+// LatencyConfig parametrizes the osu_latency-derived multithreaded
+// ping-pong benchmark (paper §6.1.1).
+type LatencyConfig struct {
+	Lock     Lock
+	Binding  Binding
+	Threads  int
+	MsgBytes int64
+	Iters    int
+	Seed     uint64
+}
+
+// LatencyResult reports the latency benchmark.
+type LatencyResult struct {
+	AvgOneWayUs float64
+	SimNs       int64
+}
+
+// Latency runs the multithreaded ping-pong latency benchmark.
+func Latency(c LatencyConfig) (LatencyResult, error) {
+	r, err := workloads.Latency(workloads.LatencyParams{
+		Lock: c.Lock.kind(), Binding: c.Binding.binding(),
+		Threads: c.Threads, MsgBytes: c.MsgBytes, Iters: c.Iters, Seed: c.Seed,
+	})
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	return LatencyResult{AvgOneWayUs: r.AvgOneWayUs, SimNs: r.SimNs}, nil
+}
+
+// N2NConfig parametrizes the all-to-all streaming benchmark (paper §5.2).
+type N2NConfig struct {
+	Lock     Lock
+	Procs    int
+	Threads  int
+	MsgBytes int64
+	Windows  int
+	Seed     uint64
+}
+
+// N2NResult reports the N2N benchmark.
+type N2NResult struct {
+	RateMsgsPerSec float64
+	SimNs          int64
+	UnexpectedHits int64
+}
+
+// N2N runs the all-to-all streaming benchmark.
+func N2N(c N2NConfig) (N2NResult, error) {
+	r, err := workloads.N2N(workloads.N2NParams{
+		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
+		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
+	})
+	if err != nil {
+		return N2NResult{}, err
+	}
+	return N2NResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs,
+		UnexpectedHits: r.UnexpectedHits}, nil
+}
+
+// RMAOp selects the one-sided operation.
+type RMAOp int
+
+// One-sided operations (paper §6.1.2).
+const (
+	Put RMAOp = iota
+	Get
+	Accumulate
+)
+
+// RMAConfig parametrizes the ARMCI-style one-sided benchmark with
+// asynchronous progress threads (paper §6.1.2).
+type RMAConfig struct {
+	Lock      Lock
+	Op        RMAOp
+	Procs     int
+	ElemBytes int64
+	Ops       int
+	Seed      uint64
+	// SelectiveWakeup enables event-driven progress (§9 future work).
+	SelectiveWakeup bool
+}
+
+// RMAResult reports the RMA benchmark.
+type RMAResult struct {
+	RateElemPerSec float64
+	SimNs          int64
+}
+
+// RMA runs the one-sided benchmark.
+func RMA(c RMAConfig) (RMAResult, error) {
+	op := workloads.OpPut
+	switch c.Op {
+	case Get:
+		op = workloads.OpGet
+	case Accumulate:
+		op = workloads.OpAcc
+	}
+	r, err := workloads.RMA(workloads.RMAParams{
+		Lock: c.Lock.kind(), Op: op, Procs: c.Procs,
+		ElemBytes: c.ElemBytes, Ops: c.Ops, Window: 1, Seed: c.Seed,
+		SelectiveWakeup: c.SelectiveWakeup,
+	})
+	if err != nil {
+		return RMAResult{}, err
+	}
+	return RMAResult{RateElemPerSec: r.RateElemPerSec, SimNs: r.SimNs}, nil
+}
+
+// BFSConfig parametrizes the Graph500 BFS kernel (paper §6.2.1).
+type BFSConfig struct {
+	Lock    Lock
+	Binding Binding
+	Procs   int
+	Threads int
+	// Scale is log2 of the vertex count (edge factor 16).
+	Scale int
+	Seed  uint64
+}
+
+// BFSResult reports the BFS kernel.
+type BFSResult struct {
+	MTEPS           float64
+	SimNs           int64
+	VisitedVertices int64
+}
+
+// BFS runs the Graph500 BFS kernel.
+func BFS(c BFSConfig) (BFSResult, error) {
+	r, err := graph500.Run(graph500.Params{
+		Lock: c.Lock.kind(), Binding: c.Binding.binding(),
+		Procs: c.Procs, Threads: c.Threads, Scale: c.Scale, Seed: c.Seed,
+	})
+	if err != nil {
+		return BFSResult{}, err
+	}
+	return BFSResult{MTEPS: r.MTEPS, SimNs: r.SimNs,
+		VisitedVertices: r.VisitedVertices}, nil
+}
+
+// StencilConfig parametrizes the 3-D 7-point stencil kernel (paper §6.2.2).
+type StencilConfig struct {
+	Lock       Lock
+	Procs      int
+	Threads    int
+	NX, NY, NZ int
+	Iters      int
+	Seed       uint64
+	// Funneled uses the MPI_THREAD_FUNNELED structure (thread 0
+	// communicates, lock-free runtime) instead of THREAD_MULTIPLE.
+	Funneled bool
+}
+
+// StencilResult reports the stencil kernel.
+type StencilResult struct {
+	GFlops                      float64
+	SimNs                       int64
+	MPIPct, ComputePct, SyncPct float64
+	Checksum                    float64
+}
+
+// Stencil runs the 3-D stencil kernel.
+func Stencil(c StencilConfig) (StencilResult, error) {
+	r, err := stencil.Run(stencil.Params{
+		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
+		NX: c.NX, NY: c.NY, NZ: c.NZ, Iters: c.Iters, Seed: c.Seed,
+		Funneled: c.Funneled,
+	})
+	if err != nil {
+		return StencilResult{}, err
+	}
+	return StencilResult{GFlops: r.GFlops, SimNs: r.SimNs, MPIPct: r.MPIPct,
+		ComputePct: r.ComputePct, SyncPct: r.SyncPct, Checksum: r.Checksum}, nil
+}
+
+// AssemblyConfig parametrizes the SWAP-style genome assembly application
+// (paper §6.3).
+type AssemblyConfig struct {
+	Lock      Lock
+	Procs     int
+	GenomeLen int
+	Reads     int
+	Seed      uint64
+}
+
+// AssemblyResult reports the assembly run.
+type AssemblyResult struct {
+	SimNs       int64
+	Contigs     int
+	ContigBases int64
+	N50         int
+}
+
+// Assembly runs the genome assembly application.
+func Assembly(c AssemblyConfig) (AssemblyResult, error) {
+	r, err := genome.Run(genome.Params{
+		Lock: c.Lock.kind(), Procs: c.Procs,
+		GenomeLen: c.GenomeLen, Reads: c.Reads, Seed: c.Seed,
+	})
+	if err != nil {
+		return AssemblyResult{}, err
+	}
+	return AssemblyResult{SimNs: r.SimNs, Contigs: len(r.Contigs),
+		ContigBases: r.ContigBases, N50: r.N50}, nil
+}
+
+// Figure is a rendered experiment table.
+type Figure struct {
+	ID    string
+	Title string
+	Text  string
+	// Chart is an ASCII rendering of the same series.
+	Chart string
+}
+
+// Experiments lists the runnable experiment ids (tables/figures of the
+// paper plus ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates the given table/figure. quick shrinks the
+// sweep for fast runs.
+func RunExperiment(id string, quick bool) ([]Figure, error) {
+	e, err := experiments.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if id == "table1" {
+		return []Figure{{ID: "table1", Title: e.Title, Text: experiments.Table1Text()}}, nil
+	}
+	tables, err := e.Run(experiments.Options{Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	figs := make([]Figure, 0, len(tables))
+	for _, t := range tables {
+		figs = append(figs, Figure{ID: t.ID, Title: t.Title, Text: t.Format(), Chart: t.Chart()})
+	}
+	return figs, nil
+}
+
+// PatternKind selects a scenario of the multithreaded MPI pattern battery
+// (after Thakur & Gropp; paper §8 ref [27]).
+type PatternKind int
+
+// Battery scenarios.
+const (
+	// ConcurrentPairs pairs thread i of each rank.
+	ConcurrentPairs PatternKind = iota
+	// FanIn drives all sender threads into one receiver.
+	FanIn
+	// FanOut feeds all receiver threads from one sender.
+	FanOut
+	// ComputeOverlap interleaves computation with communication.
+	ComputeOverlap
+)
+
+// PatternConfig parametrizes one battery run.
+type PatternConfig struct {
+	Lock     Lock
+	Pattern  PatternKind
+	Threads  int
+	MsgBytes int64
+	Msgs     int
+	Seed     uint64
+}
+
+// PatternResult reports one battery run.
+type PatternResult struct {
+	RateMsgsPerSec float64
+	SimNs          int64
+}
+
+// Pattern runs one scenario of the multithreaded pattern battery.
+func Pattern(c PatternConfig) (PatternResult, error) {
+	pat := workloads.PatternConcurrentPairs
+	switch c.Pattern {
+	case FanIn:
+		pat = workloads.PatternFanIn
+	case FanOut:
+		pat = workloads.PatternFanOut
+	case ComputeOverlap:
+		pat = workloads.PatternComputeOverlap
+	}
+	r, err := workloads.RunPattern(workloads.PatternParams{
+		Lock: c.Lock.kind(), Pattern: pat, Threads: c.Threads,
+		MsgBytes: c.MsgBytes, Msgs: c.Msgs, Seed: c.Seed,
+	})
+	if err != nil {
+		return PatternResult{}, err
+	}
+	return PatternResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs}, nil
+}
