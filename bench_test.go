@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mpicontend/internal/experiments"
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
@@ -204,3 +205,28 @@ func BenchmarkAblationSelectiveWakeup(b *testing.B) {
 func BenchmarkAblationCohort(b *testing.B) {
 	benchExperiment(b, "ablation-socketprio", "Cohort", "kmsgs/s")
 }
+
+// BenchmarkChaosSoak measures goodput under the 1% packet-drop fault
+// scenario per lock: how much of the fault-free message rate each
+// arbitration method retains while the resilient transport retransmits
+// around the losses.
+func benchChaos(b *testing.B, kind simlock.Kind) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.Throughput(workloads.ThroughputParams{
+			Lock: kind, Threads: 8, MsgBytes: 512, Window: 32, Windows: 4,
+			TraceRank: -1, Binding: machine.Compact,
+			Fault: fault.Config{DropProb: 0.01, WatchdogNs: 50_000_000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.RateMsgsPerSec
+	}
+	b.ReportMetric(rate, "msgs/s")
+}
+
+func BenchmarkChaosSoakMutex(b *testing.B)    { benchChaos(b, simlock.KindMutex) }
+func BenchmarkChaosSoakTicket(b *testing.B)   { benchChaos(b, simlock.KindTicket) }
+func BenchmarkChaosSoakPriority(b *testing.B) { benchChaos(b, simlock.KindPriority) }
+func BenchmarkChaosSoakMCS(b *testing.B)      { benchChaos(b, simlock.KindMCS) }

@@ -52,7 +52,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig10c", "fig11a", "fig11b", "fig12b",
 		"ablation-spin", "ablation-priomutex", "ablation-socketprio",
 		"ablation-queuelocks", "ablation-granularity", "ablation-wakeup",
-		"suite-patterns", "ablation-funneled",
+		"suite-patterns", "ablation-funneled", "chaos",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -206,5 +206,44 @@ func TestRemainingExperimentsRun(t *testing.T) {
 		t.Run(id, func(t *testing.T) {
 			runExp(t, id)
 		})
+	}
+}
+
+func TestChaos(t *testing.T) {
+	tables := runExp(t, "chaos")
+	// Every lock survives every scenario with zero dangling requests and
+	// nonzero goodput; the transport visibly retransmitted.
+	var goodput, retx, dangling *report.Table
+	for _, tb := range tables {
+		switch tb.ID {
+		case "chaos":
+			goodput = tb
+		case "chaos-retx":
+			retx = tb
+		case "chaos-dangling":
+			dangling = tb
+		}
+	}
+	if goodput == nil || retx == nil || dangling == nil {
+		t.Fatalf("chaos tables missing: %v", tables)
+	}
+	for _, name := range []string{"Mutex", "Ticket", "Priority", "MCS"} {
+		for _, p := range seriesByName(t, goodput, name).Points {
+			if p.Y <= 0 {
+				t.Errorf("%s scenario %v: zero goodput", name, p.X)
+			}
+		}
+		var totalRetx float64
+		for _, p := range seriesByName(t, retx, name).Points {
+			totalRetx += p.Y
+		}
+		if totalRetx == 0 {
+			t.Errorf("%s: no retransmissions under injected drops", name)
+		}
+		for _, p := range seriesByName(t, dangling, name).Points {
+			if p.Y != 0 {
+				t.Errorf("%s scenario %v: %v dangling requests", name, p.X, p.Y)
+			}
+		}
 	}
 }

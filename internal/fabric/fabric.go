@@ -8,6 +8,7 @@ package fabric
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
 )
@@ -40,13 +41,20 @@ const (
 	// TxDone is a local NIC completion: the packet with the given handle
 	// finished injecting. It never crosses the wire.
 	TxDone
+	// Ack is a transport-level acknowledgement of a sequence-numbered
+	// packet (reliable mode only; sent unreliably itself).
+	Ack
+	// Nack is a transport-level fast-retransmit request: the receiver
+	// observed a sequence gap and names the missing sequence number.
+	Nack
 )
 
-// String names the packet kind.
+// String names the packet kind; out-of-range values (including negatives)
+// render as PacketKind(n).
 func (k PacketKind) String() string {
 	names := [...]string{"Eager", "RTS", "CTS", "RData", "RMAPut", "RMAGet",
-		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone"}
-	if int(k) < len(names) {
+		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone", "Ack", "Nack"}
+	if int(k) >= 0 && int(k) < len(names) {
 		return names[k]
 	}
 	return fmt.Sprintf("PacketKind(%d)", int(k))
@@ -68,6 +76,13 @@ type Packet struct {
 	Meta interface{}
 	// Payload is the actual user data, if the caller transports any.
 	Payload interface{}
+	// Seq is the transport sequence number when Rel is set (reliable
+	// mode); Ack/Nack packets carry the acknowledged/missing sequence.
+	Seq uint64
+	// Rel marks a sequence-numbered packet covered by the reliable
+	// transport (ACK expected, retransmitted on timeout, deduplicated at
+	// the receiver).
+	Rel bool
 }
 
 // Handler receives packets at their delivery time, in engine context.
@@ -89,14 +104,27 @@ type Endpoint struct {
 
 // Fabric is the cluster interconnect.
 type Fabric struct {
-	eng  *sim.Engine
-	cost machine.CostModel
-	eps  []*Endpoint
+	eng   *sim.Engine
+	cost  machine.CostModel
+	eps   []*Endpoint
+	plane *fault.Plane // nil = perfect network
 }
 
 // New creates a fabric over the given engine and cost model.
 func New(eng *sim.Engine, cost machine.CostModel) *Fabric {
 	return &Fabric{eng: eng, cost: cost}
+}
+
+// InjectFaults attaches a fault plane; every subsequent wire packet is
+// judged by it. A nil plane restores the perfect network.
+func (f *Fabric) InjectFaults(pl *fault.Plane) { f.plane = pl }
+
+// FaultStats returns the injected-fault counters (zero when no plane).
+func (f *Fabric) FaultStats() fault.Stats {
+	if f.plane == nil {
+		return fault.Stats{}
+	}
+	return f.plane.Stats()
 }
 
 // Attach registers endpoint id (must be the next consecutive integer,
@@ -127,17 +155,28 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 	now := f.eng.Now()
 
 	var bw, lat int64
-	if dst.node == ep.node {
-		bw, lat = f.cost.IntraNodeBandwidth, f.cost.IntraNodeLatency
-	} else {
+	interNode := dst.node != ep.node
+	if interNode {
 		bw, lat = f.cost.NetBandwidth, f.cost.NetLatency
+	} else {
+		bw, lat = f.cost.IntraNodeBandwidth, f.cost.IntraNodeLatency
+	}
+
+	// Fault plane: decide this packet's fate before computing timing, so
+	// NIC stalls and brownouts shape the injection itself.
+	var v fault.Verdict
+	if f.plane != nil {
+		v = f.plane.Judge()
+		if interNode && bw > 0 {
+			bw = int64(float64(bw) * f.plane.BandwidthFactor(now))
+		}
 	}
 
 	start := now
 	if ep.txFree > start {
 		start = ep.txFree
 	}
-	injection := f.cost.NetOverhead
+	injection := f.cost.NetOverhead + v.StallNs
 	if p.Bytes > 0 && bw > 0 {
 		injection += p.Bytes * 1e9 / bw
 	}
@@ -146,8 +185,15 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 	ep.PacketsSent++
 	ep.BytesSent += p.Bytes
 
-	arrive := injectEnd + lat
-	f.eng.At(arrive, func() { dst.deliver(p) })
+	arrive := injectEnd + lat + v.ExtraNs
+	if !v.Drop {
+		f.eng.At(arrive, func() { dst.deliver(p) })
+		if v.Duplicate {
+			// The copy shares the packet struct: handlers treat packets
+			// as read-only, and the receiver's transport deduplicates.
+			f.eng.At(arrive+v.DupExtraNs, func() { dst.deliver(p) })
+		}
+	}
 
 	if notifyTx {
 		done := &Packet{Kind: TxDone, Src: ep.id, Dst: ep.id, Handle: p.Handle}

@@ -183,12 +183,6 @@ func TestAttachOrderEnforced(t *testing.T) {
 	f.Attach(3, 0, func(*Packet) {})
 }
 
-func TestPacketKindString(t *testing.T) {
-	if Eager.String() != "Eager" || TxDone.String() != "TxDone" {
-		t.Fatal("kind names changed")
-	}
-}
-
 // TestPerPairFIFOProperty: packets between one (src,dst) pair always
 // arrive in send order, regardless of sizes — the property MPI's
 // non-overtaking rule builds on.

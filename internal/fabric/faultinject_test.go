@@ -1,0 +1,152 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"mpicontend/internal/fault"
+	"mpicontend/internal/machine"
+	"mpicontend/internal/sim"
+)
+
+func TestPacketKindString(t *testing.T) {
+	cases := map[PacketKind]string{
+		Eager: "Eager", TxDone: "TxDone", Ack: "Ack", Nack: "Nack",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	// Out-of-range values, including negatives, must not panic.
+	if got := PacketKind(-1).String(); got != "PacketKind(-1)" {
+		t.Errorf("negative kind: %q", got)
+	}
+	if got := PacketKind(99).String(); got != "PacketKind(99)" {
+		t.Errorf("large kind: %q", got)
+	}
+}
+
+func TestDropSuppressesDelivery(t *testing.T) {
+	eng, f, got, _ := setup(t)
+	f.InjectFaults(fault.New(fault.Config{DropProb: 1}, 1))
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("dropped packet delivered %d times", len(*got))
+	}
+	if f.FaultStats().Dropped != 1 {
+		t.Fatalf("drop not counted: %+v", f.FaultStats())
+	}
+}
+
+func TestDropStillNotifiesTxDone(t *testing.T) {
+	// The sending NIC believes the packet went out: TxDone must fire even
+	// for a dropped packet (that is what makes loss dangerous for eager
+	// sends and what the reliable transport exists to cover).
+	eng, f, got, _ := setup(t)
+	f.InjectFaults(fault.New(fault.Config{DropProb: 1}, 1))
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1}, true)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].Kind != TxDone {
+		t.Fatalf("want exactly the TxDone loopback, got %v", *got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	eng, f, got, at := setup(t)
+	f.InjectFaults(fault.New(fault.Config{DupProb: 1}, 1))
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("duplicated packet delivered %d times", len(*got))
+	}
+	if (*got)[0] != (*got)[1] {
+		t.Fatal("duplicate must share the packet struct")
+	}
+	if (*at)[1] <= (*at)[0] {
+		t.Fatalf("copy must arrive after the original: %d vs %d", (*at)[1], (*at)[0])
+	}
+}
+
+func TestNICStallDelaysInjection(t *testing.T) {
+	cost := machine.Default()
+	run := func(cfg fault.Config) sim.Time {
+		eng, f, _, at := setup(t)
+		f.InjectFaults(fault.New(cfg, 1))
+		eng.At(0, func() {
+			f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1}, false)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return (*at)[0]
+	}
+	stallNs := int64(7000)
+	base := run(fault.Config{NICStallProb: 0.000001}) // enabled, never fires
+	stalled := run(fault.Config{NICStallProb: 1, NICStallNs: stallNs})
+	if stalled-base != stallNs {
+		t.Fatalf("stall delta %d, want %d", stalled-base, stallNs)
+	}
+	_ = cost
+}
+
+func TestBrownoutSlowsInterNodeTransfer(t *testing.T) {
+	run := func(cfg fault.Config) sim.Time {
+		eng, f, _, at := setup(t)
+		f.InjectFaults(fault.New(cfg, 1))
+		eng.At(0, func() {
+			f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1, Bytes: 1 << 20}, false)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return (*at)[0]
+	}
+	// A permanent brownout (duration == period) at factor 0.5 should make
+	// the serialization term about twice as long.
+	base := run(fault.Config{NICStallProb: 0.000001})
+	browned := run(fault.Config{
+		BrownoutPeriodNs: 1 << 62, BrownoutDurationNs: 1 << 62, BrownoutFactor: 0.5,
+	})
+	if browned <= base {
+		t.Fatalf("brownout did not slow the transfer: %d vs %d", browned, base)
+	}
+}
+
+func TestFaultsOffIdenticalTiming(t *testing.T) {
+	// A fabric with no plane and one with a nil plane behave identically.
+	eng, f, _, at := setup(t)
+	f.InjectFaults(nil)
+	eng.At(0, func() {
+		f.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1, Bytes: 4096}, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, f2, _, at2 := setup(t)
+	eng2.At(0, func() {
+		f2.Endpoint(0).Send(&Packet{Kind: Eager, Src: 0, Dst: 1, Bytes: 4096}, false)
+	})
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if (*at)[0] != (*at2)[0] {
+		t.Fatalf("nil plane changed timing: %d vs %d", (*at)[0], (*at2)[0])
+	}
+	if s := f.FaultStats().String(); !strings.Contains(s, "none") {
+		t.Fatalf("no-plane stats: %q", s)
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import "testing"
+
+func TestDisabledConfigYieldsNilPlane(t *testing.T) {
+	if pl := New(Config{}, 42); pl != nil {
+		t.Fatalf("zero config must disable the plane, got %+v", pl)
+	}
+	// Resilience tuning alone does not enable injection.
+	if pl := New(Config{RTONs: 1000, MaxRetries: 3}, 42); pl != nil {
+		t.Fatal("tuning-only config must disable the plane")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	pl := New(Config{DropProb: 0.1, BrownoutPeriodNs: 1000}, 42)
+	c := pl.Config()
+	if c.RTONs <= 0 || c.MaxRetries <= 0 || c.DelayMaxNs <= 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	if c.BrownoutDurationNs != 250 {
+		t.Fatalf("brownout duration default: got %d, want period/4", c.BrownoutDurationNs)
+	}
+	if c.BrownoutFactor != 0.25 {
+		t.Fatalf("brownout factor default: got %v", c.BrownoutFactor)
+	}
+	if c.Seed == 0 {
+		t.Fatal("seed must derive from the world seed")
+	}
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	cfg := Config{DropProb: 0.2, DupProb: 0.1, DelayProb: 0.3}
+	a, b := New(cfg, 7), New(cfg, 7)
+	for i := 0; i < 10_000; i++ {
+		va, vb := a.Judge(), b.Judge()
+		if va != vb {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestJudgeRates(t *testing.T) {
+	pl := New(Config{DropProb: 0.5}, 99)
+	drops := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		if pl.Judge().Drop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop rate %.3f far from configured 0.5", frac)
+	}
+	if pl.Stats().Dropped != int64(drops) {
+		t.Fatalf("stats mismatch: %d vs %d", pl.Stats().Dropped, drops)
+	}
+}
+
+func TestDroppedPacketDrawsNoFurtherFates(t *testing.T) {
+	// With DropProb=1 every packet is dropped and no delay/dup decisions
+	// are drawn, so two planes differing only in those probabilities
+	// consume the stream identically.
+	a := New(Config{DropProb: 1, DupProb: 0.9, DelayProb: 0.9}, 3)
+	for i := 0; i < 1000; i++ {
+		v := a.Judge()
+		if !v.Drop || v.Duplicate || v.ExtraNs != 0 {
+			t.Fatalf("dropped packet drew extra fates: %+v", v)
+		}
+	}
+}
+
+func TestBrownoutSchedule(t *testing.T) {
+	pl := New(Config{BrownoutPeriodNs: 1000, BrownoutDurationNs: 100, BrownoutFactor: 0.5}, 5)
+	if f := pl.BandwidthFactor(50); f != 0.5 {
+		t.Fatalf("inside brownout window: factor %v", f)
+	}
+	if f := pl.BandwidthFactor(500); f != 1 {
+		t.Fatalf("outside brownout window: factor %v", f)
+	}
+	if f := pl.BandwidthFactor(1050); f != 0.5 {
+		t.Fatalf("next period's window: factor %v", f)
+	}
+	if pl.Stats().BrownoutSends != 2 {
+		t.Fatalf("brownout sends: %d", pl.Stats().BrownoutSends)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	pl := New(Config{DropProb: 0.1}, 11)
+	for i := 0; i < 1000; i++ {
+		j := pl.BackoffJitter(100)
+		if j < 0 || j > 100 {
+			t.Fatalf("jitter %d out of [0,100]", j)
+		}
+	}
+	if pl.BackoffJitter(0) != 0 {
+		t.Fatal("jitter with max<=0 must be 0")
+	}
+}
+
+func TestJitterStreamIndependentOfInjection(t *testing.T) {
+	// Drawing jitter must not perturb the injection decisions: the
+	// retransmit schedule cannot change which packets a scenario drops.
+	cfg := Config{DropProb: 0.3}
+	a, b := New(cfg, 7), New(cfg, 7)
+	for i := 0; i < 5000; i++ {
+		b.BackoffJitter(1000) // extra draws on b's jitter stream only
+		if a.Judge() != b.Judge() {
+			t.Fatalf("injection stream perturbed by jitter draws at %d", i)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if s := (Stats{}).String(); s != "none" {
+		t.Fatalf("empty stats: %q", s)
+	}
+	s := Stats{Dropped: 3, Preempts: 1}.String()
+	if s != "dropped=3 preempt=1" {
+		t.Fatalf("stats string: %q", s)
+	}
+}

@@ -3,6 +3,7 @@ package genome
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/sim"
@@ -26,6 +27,10 @@ type Params struct {
 	PerKmerNs int64
 	// Batch is the number of k-mers per phase-1 message.
 	Batch int
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 }
 
 func (p Params) withDefaults() Params {
@@ -67,6 +72,8 @@ type Result struct {
 	UniqueKmers int64
 	ContigBases int64
 	N50         int
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // Message kinds for the two phases.
@@ -116,6 +123,8 @@ func Run(p Params) (Result, error) {
 		Binding:      p.Binding,
 		ProcsPerNode: p.ProcsPerNode,
 		Seed:         p.Seed,
+		Fault:        p.Fault,
+		MaxWall:      p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -172,6 +181,12 @@ func Run(p Params) (Result, error) {
 		lens = append(lens, len(s))
 	}
 	res.N50 = n50(lens, res.ContigBases)
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("genome(%v,%d procs): %w", p.Lock, p.Procs, err)
+		}
+	}
 	return res, nil
 }
 

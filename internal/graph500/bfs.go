@@ -3,6 +3,7 @@ package graph500
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/sim"
@@ -29,6 +30,10 @@ type Params struct {
 	PerEdgeNs int64
 	// BatchEntries is the number of (vertex,parent) pairs per message.
 	BatchEntries int
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 }
 
 func (p Params) withDefaults() Params {
@@ -78,6 +83,10 @@ type Result struct {
 	Parent [][]int64
 	// Part is the vertex partition used.
 	Part Partition
+	// Roots lists the BFS roots actually used (for validation).
+	Roots []int64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // procState is the shared per-process BFS state (the simulator runs one
@@ -135,6 +144,8 @@ func Run(p Params) (Result, error) {
 		Binding:      p.Binding,
 		ProcsPerNode: p.ProcsPerNode,
 		Seed:         p.Seed,
+		Fault:        p.Fault,
+		MaxWall:      p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -160,6 +171,7 @@ func Run(p Params) (Result, error) {
 
 	// Roots: pick vertices with non-zero degree deterministically.
 	roots := pickRoots(edges, part, p.Roots, p.Seed)
+	res.Roots = roots
 
 	var endAt int64
 	for r := 0; r < p.Procs; r++ {
@@ -193,6 +205,12 @@ func Run(p Params) (Result, error) {
 	res.SimNs = endAt
 	if endAt > 0 {
 		res.MTEPS = float64(res.ScannedEdges) / 2 / (float64(endAt) / 1e9) / 1e6
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("graph500(%v,scale=%d,procs=%d): %w", p.Lock, p.Scale, p.Procs, err)
+		}
 	}
 	return res, nil
 }

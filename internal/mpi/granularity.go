@@ -62,6 +62,15 @@ func (c *csLock) enter(th *Thread, cl simlock.Class) {
 	}
 	c.owner = th.lctx.Place
 	c.ownerValid = true
+	if pl := th.P.w.plane; pl != nil {
+		// Fault plane: lock-holder preemption. The stall lands just after
+		// acquisition, so every waiter pays for it — the pathology the
+		// critical-section arbitration must absorb.
+		if stall := pl.PreemptStall(); stall > 0 {
+			th.P.w.faultEvent("preempt", th.P.Rank)
+			th.S.Sleep(stall)
+		}
+	}
 }
 
 func (c *csLock) exit(th *Thread, cl simlock.Class) {

@@ -16,19 +16,21 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 	r := &Request{
 		p: p, kind: SendReq, dst: worldDst, src: p.Rank,
 		tag: tag, ctx: c.ctx, bytes: bytes, payload: payload,
+		comm: c, maxBytes: -1,
 	}
 	p.outstanding++
+	p.armDeadline(r)
 	meta := rtsMeta{src: c.rank(p.Rank), tag: tag, ctx: c.ctx, bytes: bytes}
 	if bytes <= cost.EagerThreshold {
-		p.ep.Send(&fabric.Packet{
+		p.send(&fabric.Packet{
 			Kind: fabric.Eager, Src: p.Rank, Dst: worldDst,
 			Bytes: bytes, Handle: r, Meta: meta, Payload: payload,
-		}, true)
+		}, true, r)
 	} else {
 		r.rndv = true
-		p.ep.Send(&fabric.Packet{
+		p.send(&fabric.Packet{
 			Kind: fabric.RTS, Src: p.Rank, Dst: worldDst, Handle: r, Meta: meta,
-		}, false)
+		}, false, r)
 	}
 	th.mainEnd()
 	return r
@@ -38,20 +40,38 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 // If a matching message already sits in the unexpected queue it is consumed
 // immediately (the Fig. 3b "found in unexpected queue" transition).
 func (th *Thread) Irecv(c *Comm, src, tag int) *Request {
+	return th.IrecvN(c, src, tag, -1)
+}
+
+// IrecvN is Irecv with a receive-buffer bound: a matching message larger
+// than maxBytes fails the request with MPI_ERR_TRUNCATE (the transfer still
+// drains, like MPICH's truncating receive, so the sender is not wedged).
+// maxBytes < 0 means unbounded.
+func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 	p := th.P
 	cost := th.cost()
 	th.mainBegin()
-	r := &Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx}
+	r := &Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
+		comm: c, maxBytes: maxBytes}
 	p.outstanding++
+	p.armDeadline(r)
 	if e := p.matchUnexpected(th, src, tag, c.ctx); e != nil {
 		th.S.Sleep(cost.UnexpectedMatchOverhead)
 		r.bytes = e.bytes
+		truncated := maxBytes >= 0 && e.bytes > maxBytes
 		if e.rndv {
 			// Late match of a rendezvous RTS: clear the sender to send.
-			p.ep.Send(&fabric.Packet{
+			// On truncation the CTS still goes out so the sender drains
+			// and completes; the guarded RData handler drops the payload.
+			if truncated {
+				r.fail(ErrTruncate, th.S.Now())
+			}
+			p.send(&fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: e.src,
 				Handle: e.senderReq, Meta: ctsMeta{recvReq: r},
-			}, false)
+			}, false, nil)
+		} else if truncated {
+			r.fail(ErrTruncate, th.S.Now())
 		} else {
 			th.S.Sleep(cost.CopyTime(e.bytes)) // unexpected buffer -> user buffer
 			r.payload = e.payload
@@ -66,15 +86,20 @@ func (th *Thread) Irecv(c *Comm, src, tag int) *Request {
 
 // Wait blocks until the request completes, then frees it. While waiting it
 // iterates the progress loop, yielding the critical section between polls
-// (low priority under the priority lock).
-func (th *Thread) Wait(r *Request) {
+// (low priority under the priority lock). It returns the request's error,
+// if any, after the configured error handler runs (MPI_ERRORS_ARE_FATAL,
+// the default, panics instead of returning).
+func (th *Thread) Wait(r *Request) error {
+	if r.freed {
+		return r.raiseAs(ErrRequest)
+	}
 	cost := th.cost()
 	th.stateBegin(simlock.High)
 	if r.complete {
 		th.S.Sleep(cost.RequestFreeWork)
 		r.free()
 		th.stateEnd(simlock.High)
-		return
+		return r.raise()
 	}
 	th.stateEnd(simlock.High)
 	th.pollBackoff = 0
@@ -88,7 +113,7 @@ func (th *Thread) Wait(r *Request) {
 			}
 		})
 		if done {
-			return
+			return r.raise()
 		}
 		th.progressYield()
 	}
@@ -96,21 +121,28 @@ func (th *Thread) Wait(r *Request) {
 
 // Waitall blocks until every request completes. Requests are freed as their
 // completion is detected, so a starving caller leaves its completed
-// requests dangling — the §4.4 effect.
-func (th *Thread) Waitall(rs []*Request) {
+// requests dangling — the §4.4 effect. It returns the first request error
+// encountered (after the error handler runs); the remaining requests are
+// still waited for and freed.
+func (th *Thread) Waitall(rs []*Request) error {
 	if len(rs) == 0 {
-		return
+		return nil
 	}
 	cost := th.cost()
 	remaining := len(rs)
 	pending := make([]*Request, len(rs))
 	copy(pending, rs)
+	var firstErr error
 
 	reap := func() {
 		for i := 0; i < len(pending); {
 			if pending[i].complete {
 				th.S.Sleep(cost.RequestFreeWork)
-				pending[i].free()
+				r := pending[i]
+				r.free()
+				if err := r.raise(); err != nil && firstErr == nil {
+					firstErr = err
+				}
 				pending[i] = pending[len(pending)-1]
 				pending = pending[:len(pending)-1]
 				remaining--
@@ -124,13 +156,13 @@ func (th *Thread) Waitall(rs []*Request) {
 	reap()
 	th.stateEnd(simlock.High)
 	if remaining == 0 {
-		return
+		return firstErr
 	}
 	th.pollBackoff = 0
 	for {
 		th.progressRound(simlock.Low, reap)
 		if remaining == 0 {
-			return
+			return firstErr
 		}
 		th.progressYield()
 	}
@@ -150,6 +182,11 @@ func (th *Thread) Test(r *Request) bool {
 			done = true
 		}
 	})
+	if done {
+		// Run the error handler (panic under MPI_ERRORS_ARE_FATAL);
+		// under MPI_ERRORS_RETURN the caller inspects r.Err().
+		_ = r.raise()
+	}
 	return done
 }
 
@@ -158,17 +195,24 @@ func (th *Thread) Test(r *Request) bool {
 func (th *Thread) Testall(rs []*Request) []*Request {
 	cost := th.cost()
 	var out []*Request
+	var failed []*Request
 	th.progressRound(simlock.High, func() {
 		out = rs[:0]
 		for _, r := range rs {
 			if r.complete {
 				th.S.Sleep(cost.RequestFreeWork)
 				r.free()
+				if r.err != nil {
+					failed = append(failed, r)
+				}
 			} else {
 				out = append(out, r)
 			}
 		}
 	})
+	for _, r := range failed {
+		_ = r.raise()
+	}
 	return out
 }
 
@@ -193,6 +237,10 @@ func (th *Thread) CancelRecv(r *Request) {
 			p.posted = append(p.posted[:i], p.posted[i+1:]...)
 			break
 		}
+	}
+	if r.deadline != nil {
+		r.deadline.Cancel()
+		r.deadline = nil
 	}
 	r.freed = true
 	p.outstanding--

@@ -58,11 +58,19 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 	case fabric.TxDone:
 		// NIC finished injecting a payload: the owning send request is
 		// complete (eager: buffer reusable; rendezvous: data shipped).
+		// A request already failed by its deadline stays failed.
 		req := pkt.Handle.(*Request)
-		req.markComplete(now)
+		if !req.complete {
+			req.markComplete(now)
+		}
 
 	case fabric.Eager:
 		if r := p.matchPosted(th, pkt.Meta.(rtsMeta)); r != nil {
+			if r.maxBytes >= 0 && pkt.Bytes > r.maxBytes {
+				r.fail(ErrTruncate, now)
+				p.PostedHits++
+				break
+			}
 			th.S.Sleep(cost.CopyTime(pkt.Bytes)) // copy into the user buffer
 			r.payload = pkt.Payload
 			r.markComplete(th.S.Now())
@@ -83,10 +91,16 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 		if r := p.matchPosted(th, m); r != nil {
 			p.PostedHits++
 			r.bytes = m.bytes
-			p.ep.Send(&fabric.Packet{
+			if r.maxBytes >= 0 && m.bytes > r.maxBytes {
+				// Truncation: fail the receive but still clear the sender
+				// to send so it drains; the RData handler drops the
+				// payload of a completed request.
+				r.fail(ErrTruncate, now)
+			}
+			p.send(&fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: pkt.Src,
 				Handle: pkt.Handle, Meta: ctsMeta{recvReq: r},
-			}, false)
+			}, false, nil)
 		} else {
 			p.unexp = append(p.unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
@@ -97,25 +111,38 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 
 	case fabric.CTS:
 		// Our RTS was matched: ship the payload. Sender request
-		// completes when injection finishes (TxDone).
+		// completes when injection finishes (TxDone). A sender already
+		// failed by its deadline still drains the transfer (the receiver
+		// expects the data), so no guard here.
 		sreq := pkt.Handle.(*Request)
-		p.ep.Send(&fabric.Packet{
+		p.send(&fabric.Packet{
 			Kind: fabric.RData, Src: p.Rank, Dst: sreq.dst,
 			Bytes: sreq.bytes, Handle: sreq, Meta: pkt.Meta,
 			Payload: sreq.payload,
-		}, true)
+		}, true, sreq)
 
 	case fabric.RData:
-		// Rendezvous payload lands directly in the posted buffer.
+		// Rendezvous payload lands directly in the posted buffer — unless
+		// the receive already completed (deadline timeout or truncation),
+		// in which case the payload is dropped.
 		r := pkt.Meta.(ctsMeta).recvReq
-		r.payload = pkt.Payload
-		r.markComplete(now)
+		if !r.complete {
+			r.payload = pkt.Payload
+			r.markComplete(now)
+		}
 
 	case fabric.RMAPut, fabric.RMAGet, fabric.RMAGetReply, fabric.RMAAcc, fabric.RMAAck:
 		p.handleRMA(th, pkt)
 
 	default:
 		panic(fmt.Sprintf("mpi: unhandled packet kind %v", pkt.Kind))
+	}
+
+	// Reliable mode: acknowledge the packet only now that the progress
+	// loop actually processed it — a starved critical section ACKs late
+	// and draws retransmits (see transport.go).
+	if pkt.Rel && p.rel != nil {
+		p.rel.ackDelivered(pkt)
 	}
 }
 

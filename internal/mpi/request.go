@@ -51,6 +51,25 @@ type Request struct {
 
 	// rma op state
 	win *Win
+
+	// comm the request was issued on (nil for RMA ops); resolves the
+	// error handler.
+	comm *Comm
+	// maxBytes bounds the receive buffer (IrecvN); -1 means unbounded.
+	maxBytes int64
+	// err records the failure that completed the request, if any.
+	err *Error
+	// deadline is the armed per-request timeout (reliable mode only).
+	deadline *sim.Timer
+}
+
+// Err returns the error that failed the request, or nil. Valid once the
+// request completed (after Test returns true or Wait returns).
+func (r *Request) Err() error {
+	if r.err == nil {
+		return nil
+	}
+	return r.err
 }
 
 // Complete reports whether the request has completed.
@@ -76,12 +95,43 @@ func (r *Request) markComplete(at sim.Time) {
 	}
 	r.complete = true
 	r.completedAt = at
+	if r.deadline != nil {
+		r.deadline.Cancel()
+		r.deadline = nil
+	}
 	r.p.w.danglingNow++
 	r.p.danglingNow++
+	r.p.w.completedTotal++
 	if r.p.w.Cfg.SelectiveWakeup {
 		// Event-driven progress (§9): completions wake parked waiters.
 		r.p.activity.WakeAll(at)
 	}
+}
+
+// fail completes the request unsuccessfully with the given error class.
+// A timed-out receive is withdrawn from the posted queue so a later
+// arrival cannot match (and double-complete) it. No-op if the request
+// already completed or was freed. Must run in engine or CS context.
+func (r *Request) fail(code Errcode, at sim.Time) {
+	if r.complete || r.freed {
+		return
+	}
+	r.err = &Error{Code: code, Detail: r.describe()}
+	if r.kind == RecvReq {
+		p := r.p
+		for i, q := range p.posted {
+			if q == r {
+				p.posted = append(p.posted[:i], p.posted[i+1:]...)
+				break
+			}
+		}
+	}
+	r.p.w.requestFailures++
+	r.markComplete(at)
+	// Failed requests must wake their waiters even without
+	// SelectiveWakeup parking: completion polling notices on the next
+	// progress round, but parked threads need the nudge.
+	r.p.activity.WakeAll(at)
 }
 
 // free releases a completed request. Must be called with the CS held.

@@ -47,17 +47,18 @@ func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 		bytes: count * win.elemSize, win: win}
 	p.outstanding++
 	win.pending++
+	p.armDeadline(r)
 	bytes := int64(0)
 	var data interface{}
 	if kind == fabric.RMAPut || kind == fabric.RMAAcc {
 		bytes = count * win.elemSize
 		data = payload
 	}
-	p.ep.Send(&fabric.Packet{
+	p.send(&fabric.Packet{
 		Kind: kind, Src: p.Rank, Dst: target, Bytes: bytes,
 		Handle: r, Meta: rmaMeta{winID: win.id, offset: offset, count: count},
 		Payload: data,
-	}, false)
+	}, false, r)
 	th.mainEnd()
 	return r
 }
@@ -82,9 +83,10 @@ func (th *Thread) Accumulate(win *Win, target int, offset int64, vals []float64)
 
 // Flush blocks until every outstanding RMA operation issued by this
 // process on the window has completed, freeing their requests. Like Wait,
-// it iterates the progress loop at low priority.
-func (th *Thread) Flush(win *Win, rs []*Request) {
-	th.Waitall(rs)
+// it iterates the progress loop at low priority. It returns the first
+// request error, if any (after the error handler runs).
+func (th *Thread) Flush(win *Win, rs []*Request) error {
+	return th.Waitall(rs)
 }
 
 // handleRMA processes one-sided protocol packets inside the CS.
@@ -98,8 +100,8 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		vals := pkt.Payload.([]float64)
 		th.S.Sleep(cost.CopyTime(pkt.Bytes))
 		copy(win.buffers[p.Rank][m.offset:], vals)
-		p.ep.Send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
-			Dst: pkt.Src, Handle: pkt.Handle}, false)
+		p.send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}, false, nil)
 
 	case fabric.RMAAcc:
 		m := pkt.Meta.(rmaMeta)
@@ -110,8 +112,8 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		for i, v := range vals {
 			dst[i] += v
 		}
-		p.ep.Send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
-			Dst: pkt.Src, Handle: pkt.Handle}, false)
+		p.send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}, false, nil)
 
 	case fabric.RMAGet:
 		m := pkt.Meta.(rmaMeta)
@@ -119,17 +121,23 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		th.S.Sleep(cost.CopyTime(m.count * win.elemSize))
 		vals := make([]float64, m.count)
 		copy(vals, win.buffers[p.Rank][m.offset:])
-		p.ep.Send(&fabric.Packet{Kind: fabric.RMAGetReply, Src: p.Rank,
+		p.send(&fabric.Packet{Kind: fabric.RMAGetReply, Src: p.Rank,
 			Dst: pkt.Src, Bytes: m.count * win.elemSize,
-			Handle: pkt.Handle, Payload: vals}, false)
+			Handle: pkt.Handle, Payload: vals}, false, nil)
 
 	case fabric.RMAGetReply:
+		// A get already failed by its deadline drops the late reply.
 		r := pkt.Handle.(*Request)
-		r.payload = pkt.Payload
-		r.markComplete(now)
+		if !r.complete {
+			r.payload = pkt.Payload
+			r.markComplete(now)
+		}
 
 	case fabric.RMAAck:
-		pkt.Handle.(*Request).markComplete(now)
+		// An op already failed by its deadline drops the late ack.
+		if r := pkt.Handle.(*Request); !r.complete {
+			r.markComplete(now)
+		}
 
 	default:
 		panic(fmt.Sprintf("mpi: unhandled RMA packet %v", pkt.Kind))

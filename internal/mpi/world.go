@@ -15,8 +15,10 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 
 	"mpicontend/internal/fabric"
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
 	"mpicontend/internal/simlock"
@@ -70,6 +72,19 @@ type Config struct {
 	// busy-spinning through the critical section. This removes the wasted
 	// lock acquisitions that the mutex otherwise monopolizes.
 	SelectiveWakeup bool
+	// Fault configures the deterministic fault-injection plane. The zero
+	// value is a perfect network and the runtime behaves exactly as
+	// before (no sequence numbers, no ACK traffic, no timers). Any
+	// enabled fault switches the runtime to its reliable transport.
+	Fault fault.Config
+	// MaxWall bounds the run's real (wall-clock) time in nanoseconds of
+	// wall time (see sim.Engine.MaxWall); zero means no limit. Chaos
+	// soaks set it so a runaway scenario cannot hang CI.
+	MaxWall int64
+	// OnFaultEvent, when set, observes resilience events ("retransmit",
+	// "giveup", "preempt") at their virtual time on the given rank —
+	// used to pin marks onto lock-ownership timelines.
+	OnFaultEvent func(event string, at int64, rank int)
 }
 
 // World is a running simulated cluster with an MPI runtime on each process.
@@ -83,6 +98,18 @@ type World struct {
 	danglingNow int
 	appThreads  int // live non-daemon threads; world stops at zero
 	nextCtx     int // user context ids handed out by Dup/Split
+
+	// Fault/resilience plane (nil and zero on a perfect network).
+	plane      *fault.Plane
+	errhandler Errhandler
+	stallErr   error // set by the progress watchdog
+
+	// Activity counters the watchdog samples.
+	deliveredTotal   int64
+	completedTotal   int64
+	retransmitsTotal int64
+	requestFailures  int64
+	watchdogStalls   int64
 }
 
 // NewWorld builds the world: engine, fabric, and one Proc per rank with its
@@ -115,7 +142,12 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg.MaxEvents = 500_000_000
 	}
 	w.Eng.MaxEvents = cfg.MaxEvents
+	if cfg.MaxWall > 0 {
+		w.Eng.MaxWall = time.Duration(cfg.MaxWall)
+	}
 	w.Fab = fabric.New(w.Eng, cfg.Cost)
+	w.plane = fault.New(cfg.Fault, cfg.Seed)
+	w.Fab.InjectFaults(w.plane)
 	n := cfg.Topo.Nodes * cfg.ProcsPerNode
 	coresPerProc := cfg.Topo.CoresPerNode() / cfg.ProcsPerNode
 	for rank := 0; rank < n; rank++ {
@@ -138,7 +170,15 @@ func NewWorld(cfg Config) (*World, error) {
 			p.nicCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
 		}
 		p.ep = w.Fab.Attach(rank, node, p.onPacket)
+		if w.plane != nil {
+			p.rel = newRelState(p, w.plane)
+		}
 		w.Procs = append(w.Procs, p)
+	}
+	if w.plane != nil {
+		if iv := w.plane.Config().WatchdogNs; iv > 0 {
+			w.startWatchdog(iv)
+		}
 	}
 	return w, nil
 }
@@ -159,8 +199,26 @@ func (w *World) Comm() *Comm { return &Comm{w: w, ctx: 0, size: len(w.Procs)} }
 // requests across the world (the paper's §4.4 metric source).
 func (w *World) DanglingNow() int { return w.danglingNow }
 
-// Run executes the simulation until all non-daemon threads finish.
-func (w *World) Run() error { return w.Eng.Run() }
+// Run executes the simulation until all non-daemon threads finish. A
+// progress-watchdog stall takes precedence over the engine's own result,
+// since the watchdog stops the engine cleanly to attach its report.
+func (w *World) Run() error {
+	err := w.Eng.Run()
+	if w.stallErr != nil {
+		return w.stallErr
+	}
+	return err
+}
+
+// FaultPlane returns the active fault plane (nil on a perfect network).
+func (w *World) FaultPlane() *fault.Plane { return w.plane }
+
+// faultEvent forwards a resilience event to the configured observer.
+func (w *World) faultEvent(event string, rank int) {
+	if w.Cfg.OnFaultEvent != nil {
+		w.Cfg.OnFaultEvent(event, w.Eng.Now(), rank)
+	}
+}
 
 // Comm is a communicator: a matching context over a group of processes.
 // The world communicator has a nil ranks slice (identity mapping); Dup and
@@ -171,6 +229,9 @@ type Comm struct {
 	size int
 	// ranks maps comm-local rank -> world rank; nil means identity.
 	ranks []int
+	// errhandler overrides the world's when not ErrhandlerInherit (the
+	// zero value), so new communicators inherit by default.
+	errhandler Errhandler
 }
 
 // Size returns the number of ranks in the communicator.
@@ -192,6 +253,7 @@ type Proc struct {
 	queueCS csLock // matching-queue lock (GranFine)
 	nicCS   csLock // completion-queue lock (GranFine)
 	ep      *fabric.Endpoint
+	rel     *relState // reliable transport; nil on a perfect network
 
 	posted []*Request       // posted receive queue
 	unexp  []*envelope      // unexpected message queue
@@ -229,9 +291,23 @@ func (p *Proc) Outstanding() int { return p.outstanding }
 // DanglingNow returns this process's completed-but-not-freed request count.
 func (p *Proc) DanglingNow() int { return p.danglingNow }
 
-// onPacket is the fabric delivery handler (engine context).
+// onPacket is the fabric delivery handler (engine context). Under the
+// reliable transport, control traffic (ACK/NACK), duplicates and
+// out-of-order arrivals are consumed here at "driver" level; the protocol
+// layer only ever sees each packet once, in per-flow FIFO order.
 func (p *Proc) onPacket(pkt *fabric.Packet) {
+	if p.rel != nil {
+		released := p.rel.admit(pkt)
+		if len(released) == 0 {
+			return
+		}
+		p.cq = append(p.cq, released...)
+		p.w.deliveredTotal += int64(len(released))
+		p.activity.WakeAll(p.w.Eng.Now())
+		return
+	}
 	p.cq = append(p.cq, pkt)
+	p.w.deliveredTotal++
 	p.activity.WakeAll(p.w.Eng.Now())
 }
 

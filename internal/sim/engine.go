@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -44,7 +45,17 @@ type Engine struct {
 	MaxEvents uint64
 	// MaxTime aborts the run once the clock passes it. Zero means no limit.
 	MaxTime Time
+	// MaxWall aborts the run with a thread-state dump once Run has
+	// consumed this much real (wall-clock) time — a watchdog so chaos
+	// soaks and runaway simulations cannot hang CI. Zero means no limit.
+	// The check runs every wallCheckEvery events, so very cheap events
+	// may overshoot the budget slightly.
+	MaxWall time.Duration
 }
+
+// wallCheckEvery is how many events pass between wall-clock watchdog
+// checks; a power of two keeps the modulo a mask.
+const wallCheckEvery = 1024
 
 // NewEngine returns an engine whose random stream is derived from seed.
 func NewEngine(seed uint64) *Engine {
@@ -143,6 +154,7 @@ func (e *Engine) dispatch(t *Thread) {
 // are left (a deadlock), or if a configured limit was exceeded.
 func (e *Engine) Run() error {
 	defer e.shutdown()
+	wallStart := time.Now()
 	for len(e.events) > 0 && !e.stopped {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
@@ -150,6 +162,12 @@ func (e *Engine) Run() error {
 		}
 		if e.MaxTime > 0 && ev.when > e.MaxTime {
 			return fmt.Errorf("sim: exceeded MaxTime %d at event time %d", e.MaxTime, ev.when)
+		}
+		if e.MaxWall > 0 && e.eventsRun%wallCheckEvery == 0 {
+			if elapsed := time.Since(wallStart); elapsed > e.MaxWall {
+				return fmt.Errorf("sim: wall-clock watchdog: run exceeded %v (elapsed %v) at virtual time %d after %d events\n%s",
+					e.MaxWall, elapsed.Round(time.Millisecond), e.now, e.eventsRun, e.ThreadDump())
+			}
 		}
 		if ev.when < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %d < %d", ev.when, e.now))
@@ -176,6 +194,17 @@ func (e *Engine) Run() error {
 			len(parked), strings.Join(parked, ", "))
 	}
 	return nil
+}
+
+// ThreadDump renders every simthread's name and state, one per line — the
+// diagnostic attached to watchdog aborts.
+func (e *Engine) ThreadDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thread states (%d threads):\n", len(e.threads))
+	for _, t := range e.threads {
+		fmt.Fprintf(&b, "  %-32s %s\n", t.name, t.state)
+	}
+	return b.String()
 }
 
 // Stop halts the simulation: Run returns after the current event completes

@@ -12,6 +12,24 @@ const (
 	stateDone
 )
 
+// String names the state for thread dumps.
+func (s threadState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // killed is the panic payload used to unwind a simthread goroutine when the
 // engine shuts down while the thread is still blocked.
 type killed struct{}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWallClockWatchdogAborts(t *testing.T) {
+	eng := NewEngine(1)
+	eng.MaxWall = 30 * time.Millisecond
+	eng.MaxEvents = 1 << 62
+	eng.Spawn("spinner", func(th *Thread) {
+		for {
+			th.Sleep(1)
+		}
+	})
+	start := time.Now()
+	err := eng.Run()
+	if err == nil {
+		t.Fatal("runaway simulation must trip the wall-clock watchdog")
+	}
+	if !strings.Contains(err.Error(), "wall-clock watchdog") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "spinner") {
+		t.Fatalf("error must include the thread dump: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog fired too late: %v", elapsed)
+	}
+}
+
+func TestWallClockWatchdogOffByDefault(t *testing.T) {
+	eng := NewEngine(1)
+	done := false
+	eng.Spawn("worker", func(th *Thread) {
+		th.Sleep(100)
+		done = true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("thread did not finish")
+	}
+}
+
+func TestThreadDumpListsStates(t *testing.T) {
+	eng := NewEngine(1)
+	eng.Spawn("alpha", func(th *Thread) { th.Sleep(10) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dump := eng.ThreadDump()
+	if !strings.Contains(dump, "alpha") || !strings.Contains(dump, "done") {
+		t.Fatalf("dump missing thread or state: %q", dump)
+	}
+}

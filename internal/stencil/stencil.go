@@ -8,6 +8,7 @@ package stencil
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/sim"
@@ -37,6 +38,10 @@ type Params struct {
 	// The runtime then runs lock-free, trading parallel communication
 	// for zero thread-safety cost.
 	Funneled bool
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 }
 
 func (p Params) withDefaults() Params {
@@ -78,6 +83,8 @@ type Result struct {
 	// Field is the assembled final global field when KeepField was set,
 	// indexed [z][y][x] flattened as z*NY*NX + y*NX + x.
 	Field []float64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // flopsPerPoint is the 7-point update's floating-point operation count.
@@ -166,6 +173,8 @@ func Run(p Params) (Result, error) {
 		ThreadLevel: level,
 		Binding:     p.Binding,
 		Seed:        p.Seed,
+		Fault:       p.Fault,
+		MaxWall:     p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -243,6 +252,12 @@ func Run(p Params) (Result, error) {
 					}
 				}
 			}
+		}
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("stencil(%v,%d procs): %w", p.Lock, p.Procs, err)
 		}
 	}
 	return res, nil

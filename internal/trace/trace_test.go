@@ -210,3 +210,45 @@ func TestTimelineEmpty(t *testing.T) {
 		t.Fatal("empty metrics should be zero")
 	}
 }
+
+func TestTimelineMarks(t *testing.T) {
+	var tr TimelineRecorder
+	for i := 0; i < 10; i++ {
+		tr.Observe(simlock.GrantInfo{At: int64(i * 100), ThreadID: i % 2,
+			Place: place(0, i%2)})
+	}
+	tr.Mark(250, '!', "retransmit")
+	tr.Mark(600, '!', "retransmit")
+	tr.Mark(700, '~', "preempt")
+	tr.Mark(5000, '!', "retransmit") // outside the grant window: counted, not drawn
+	if tr.Marks() != 4 {
+		t.Fatalf("marks = %d", tr.Marks())
+	}
+	out := tr.Render(20)
+	if !strings.Contains(out, "! = retransmit x3") {
+		t.Fatalf("mark legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "~ = preempt x1") {
+		t.Fatalf("preempt legend missing:\n%s", out)
+	}
+	// The mark row is a second |...| line containing the glyphs.
+	lines := strings.Split(out, "\n")
+	rows := 0
+	for _, ln := range lines {
+		if strings.Contains(ln, "|") {
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("want ownership row + mark row, got %d rows:\n%s", rows, out)
+	}
+}
+
+func TestTimelineNoMarksNoExtraRow(t *testing.T) {
+	var tr TimelineRecorder
+	tr.Observe(simlock.GrantInfo{At: 0, ThreadID: 0, Place: place(0, 0)})
+	out := tr.Render(10)
+	if strings.Count(out, "|") != 2 {
+		t.Fatalf("mark row must be absent without marks:\n%s", out)
+	}
+}

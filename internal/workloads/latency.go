@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
@@ -19,6 +20,10 @@ type LatencyParams struct {
 	// Iters is the number of ping-pongs per thread.
 	Iters int
 	Seed  uint64
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 }
 
 func (p LatencyParams) withDefaults() LatencyParams {
@@ -42,6 +47,8 @@ func (p LatencyParams) withDefaults() LatencyParams {
 type LatencyResult struct {
 	AvgOneWayUs float64
 	SimNs       int64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // Latency runs the multithreaded latency benchmark.
@@ -53,6 +60,8 @@ func Latency(p LatencyParams) (LatencyResult, error) {
 		Lock:    p.Lock,
 		Binding: p.Binding,
 		Seed:    p.Seed,
+		Fault:   p.Fault,
+		MaxWall: p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -85,5 +94,11 @@ func Latency(p LatencyParams) (LatencyResult, error) {
 	n := int64(p.Threads) * int64(p.Iters)
 	res.AvgOneWayUs = float64(totalRT) / float64(n) / 2 / 1000
 	res.SimNs = endAt
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("latency(%v,%dB,%dt): %w", p.Lock, p.MsgBytes, p.Threads, err)
+		}
+	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
@@ -61,6 +62,10 @@ type N2NParams struct {
 	// peer via tags, making match pools per-thread (shallow) instead of
 	// pooled per-process.
 	PerThreadTags bool
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -101,6 +106,8 @@ type N2NResult struct {
 	SimNs          int64
 	RateMsgsPerSec float64
 	UnexpectedHits int64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // N2N runs the all-to-all streaming benchmark.
@@ -113,6 +120,8 @@ func N2N(p N2NParams) (N2NResult, error) {
 		Binding: p.Binding,
 		Seed:    p.Seed,
 		OnGrant: p.onGrant,
+		Fault:   p.Fault,
+		MaxWall: p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -138,6 +147,12 @@ func N2N(p N2NParams) (N2NResult, error) {
 	}
 	for _, pr := range w.Procs {
 		res.UnexpectedHits += pr.UnexpectedHits
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("n2n(%v,%dB): %w", p.Lock, p.MsgBytes, err)
+		}
 	}
 	return res, nil
 }

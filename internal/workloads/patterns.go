@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
@@ -62,6 +63,10 @@ type PatternParams struct {
 	// ComputeNs is the per-message computation in PatternComputeOverlap.
 	ComputeNs int64
 	Seed      uint64
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 }
 
 func (p PatternParams) withDefaults() PatternParams {
@@ -88,6 +93,8 @@ type PatternResult struct {
 	Messages       int64
 	SimNs          int64
 	RateMsgsPerSec float64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // RunPattern executes one scenario of the battery between two nodes.
@@ -95,9 +102,11 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 	p = p.withDefaults()
 	var res PatternResult
 	w, err := mpi.NewWorld(mpi.Config{
-		Topo: machine.Nehalem2x4(2),
-		Lock: p.Lock,
-		Seed: p.Seed,
+		Topo:    machine.Nehalem2x4(2),
+		Lock:    p.Lock,
+		Seed:    p.Seed,
+		Fault:   p.Fault,
+		MaxWall: p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -204,6 +213,12 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 	res.SimNs = endAt
 	if endAt > 0 {
 		res.RateMsgsPerSec = float64(res.Messages) / (float64(endAt) / 1e9)
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("pattern %v(%v): %w", p.Pattern, p.Lock, err)
+		}
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpicontend/internal/armci"
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
@@ -53,6 +54,10 @@ type RMAParams struct {
 	Seed   uint64
 	// SelectiveWakeup enables the event-driven progress extension (§9).
 	SelectiveWakeup bool
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -88,6 +93,8 @@ type RMAResult struct {
 	Elements       int64
 	SimNs          int64
 	RateElemPerSec float64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // RMA runs the one-sided benchmark with asynchronous progress.
@@ -108,6 +115,8 @@ func RMA(p RMAParams) (RMAResult, error) {
 		Seed:            p.Seed,
 		OnGrant:         p.onGrant,
 		SelectiveWakeup: p.SelectiveWakeup,
+		Fault:           p.Fault,
+		MaxWall:         p.MaxWall,
 	})
 	if err != nil {
 		return res, err
@@ -160,6 +169,12 @@ func RMA(p RMAParams) (RMAResult, error) {
 	res.SimNs = endAt
 	if endAt > 0 {
 		res.RateElemPerSec = float64(res.Elements) / (float64(endAt) / 1e9)
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("rma(%v,%v,%dB): %w", p.Lock, p.Op, p.ElemBytes, err)
+		}
 	}
 	return res, nil
 }

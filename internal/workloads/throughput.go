@@ -8,6 +8,7 @@ package workloads
 import (
 	"fmt"
 
+	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
@@ -45,6 +46,10 @@ type ThroughputParams struct {
 	// critical-section lock (the paper instruments the communication
 	// runtime; the receiver side is where matching happens).
 	TraceRank int
+	// Fault configures the fault-injection plane (zero = perfect network).
+	Fault fault.Config
+	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
+	MaxWall int64
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -101,6 +106,8 @@ type ThroughputResult struct {
 	DanglingMax int64
 	// UnexpectedHits across receiver ranks.
 	UnexpectedHits int64
+	// Net holds the resilience counters (all zero on a perfect network).
+	Net mpi.NetStats
 }
 
 // Throughput runs the multithreaded point-to-point throughput benchmark.
@@ -120,6 +127,8 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 		Binding:         p.Binding,
 		ProcsPerNode:    p.ProcsPerNode,
 		Seed:            p.Seed,
+		Fault:           p.Fault,
+		MaxWall:         p.MaxWall,
 	}
 	if p.TraceRank >= 0 || p.onGrant != nil {
 		cfg.OnGrant = func(rank int) simlock.GrantFunc {
@@ -200,6 +209,12 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 	res.DanglingMax = dang.Max()
 	for _, pr := range w.Procs {
 		res.UnexpectedHits += pr.UnexpectedHits
+	}
+	res.Net = w.NetStats()
+	if p.Fault.Enabled() {
+		if err := w.CheckClean(); err != nil {
+			return res, fmt.Errorf("throughput(%v,%dB,%dt): %w", p.Lock, p.MsgBytes, p.Threads, err)
+		}
 	}
 	return res, nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"mpicontend/internal/experiments"
+	"mpicontend/internal/fault"
 	"mpicontend/internal/genome"
 	"mpicontend/internal/graph500"
 	"mpicontend/internal/machine"
@@ -27,6 +28,89 @@ import (
 	"mpicontend/internal/stencil"
 	"mpicontend/internal/workloads"
 )
+
+// FaultConfig describes a fault-injection scenario and the resilient
+// transport's tuning. The zero value is a perfect network: no faults, no
+// reliability layer, zero overhead — fault-free runs are byte-identical
+// with or without this feature. All fault randomness is seeded, so a
+// faulty run is exactly reproducible.
+type FaultConfig struct {
+	// DropProb is the probability a wire packet is silently discarded.
+	DropProb float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a packet suffers extra latency,
+	// uniform in [1, DelayMaxNs] — reordering packets behind it.
+	DelayProb  float64
+	DelayMaxNs int64
+	// BrownoutPeriodNs > 0 enables periodic link brownouts: every period
+	// the inter-node links run at BrownoutFactor of nominal bandwidth
+	// for BrownoutDurationNs.
+	BrownoutPeriodNs   int64
+	BrownoutDurationNs int64
+	BrownoutFactor     float64
+	// NICStallProb is the probability one injection stalls the NIC for
+	// NICStallNs.
+	NICStallProb float64
+	NICStallNs   int64
+	// PreemptProb is the probability a thread is preempted for PreemptNs
+	// right after acquiring a runtime critical-section lock.
+	PreemptProb float64
+	PreemptNs   int64
+	// RTONs is the base retransmit timeout (default 50µs, doubling per
+	// retry); MaxRetries bounds retransmissions before the transport
+	// gives up and surfaces an MPI-style error.
+	RTONs      int64
+	MaxRetries int
+	// RequestTimeoutNs > 0 arms a per-request deadline surfaced as a
+	// timeout error through Wait/Test/Waitall.
+	RequestTimeoutNs int64
+	// WatchdogNs > 0 runs the progress watchdog at this interval.
+	WatchdogNs int64
+	// Seed drives the plane's private random streams (0 = derive from
+	// the world seed).
+	Seed uint64
+}
+
+func (c FaultConfig) config() fault.Config {
+	return fault.Config{
+		DropProb: c.DropProb, DupProb: c.DupProb,
+		DelayProb: c.DelayProb, DelayMaxNs: c.DelayMaxNs,
+		BrownoutPeriodNs: c.BrownoutPeriodNs, BrownoutDurationNs: c.BrownoutDurationNs,
+		BrownoutFactor: c.BrownoutFactor,
+		NICStallProb:   c.NICStallProb, NICStallNs: c.NICStallNs,
+		PreemptProb: c.PreemptProb, PreemptNs: c.PreemptNs,
+		RTONs: c.RTONs, MaxRetries: c.MaxRetries,
+		RequestTimeoutNs: c.RequestTimeoutNs, WatchdogNs: c.WatchdogNs,
+		Seed: c.Seed,
+	}
+}
+
+// NetStats reports the resilient transport's counters for one run; all
+// fields are zero on a perfect network.
+type NetStats struct {
+	// Dropped/Duplicated/Delayed/NICStalls/Preempts/BrownoutSends count
+	// injected faults.
+	Dropped, Duplicated, Delayed, NICStalls, Preempts, BrownoutSends int64
+	// Retransmits and FastRetransmits count recovery sends; DupsSuppressed
+	// counts receiver-side duplicate discards.
+	Retransmits, FastRetransmits, DupsSuppressed int64
+	// GiveUps counts packets abandoned after MaxRetries; RequestFailures
+	// counts requests completed with an error; WatchdogStalls counts
+	// progress-watchdog abort reports.
+	GiveUps, RequestFailures, WatchdogStalls int64
+}
+
+func netStats(s mpi.NetStats) NetStats {
+	return NetStats{
+		Dropped: s.Fault.Dropped, Duplicated: s.Fault.Duplicated,
+		Delayed: s.Fault.Delayed, NICStalls: s.Fault.NICStalls,
+		Preempts: s.Fault.Preempts, BrownoutSends: s.Fault.BrownoutSends,
+		Retransmits: s.Retransmits, FastRetransmits: s.FastRetransmits,
+		DupsSuppressed: s.DupsSuppressed, GiveUps: s.GiveUps,
+		RequestFailures: s.RequestFailures, WatchdogStalls: s.WatchdogStalls,
+	}
+}
 
 // Lock selects the critical-section arbitration used by the simulated MPI
 // runtime.
@@ -150,6 +234,8 @@ type ThroughputConfig struct {
 	// Trace enables the §4.3 fairness and §4.4 dangling-request
 	// analyses on the receiver's runtime.
 	Trace bool
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // ThroughputResult reports the throughput benchmark.
@@ -162,6 +248,8 @@ type ThroughputResult struct {
 	BiasCore, BiasSocket float64
 	// DanglingAvg is the §4.4 metric; populated when Trace was set.
 	DanglingAvg float64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // Throughput runs the multithreaded point-to-point throughput benchmark.
@@ -179,6 +267,7 @@ func Throughput(c ThroughputConfig) (ThroughputResult, error) {
 		Threads: c.Threads, MsgBytes: c.MsgBytes,
 		Window: c.Window, Windows: c.Windows,
 		ProcsPerNode: c.ProcsPerNode, Seed: c.Seed, TraceRank: tr,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return ThroughputResult{}, err
@@ -186,6 +275,7 @@ func Throughput(c ThroughputConfig) (ThroughputResult, error) {
 	return ThroughputResult{
 		Messages: r.Messages, SimNs: r.SimNs, RateMsgsPerSec: r.RateMsgsPerSec,
 		BiasCore: r.BiasCore, BiasSocket: r.BiasSocket, DanglingAvg: r.DanglingAvg,
+		Net: netStats(r.Net),
 	}, nil
 }
 
@@ -198,12 +288,16 @@ type LatencyConfig struct {
 	MsgBytes int64
 	Iters    int
 	Seed     uint64
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // LatencyResult reports the latency benchmark.
 type LatencyResult struct {
 	AvgOneWayUs float64
 	SimNs       int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // Latency runs the multithreaded ping-pong latency benchmark.
@@ -211,11 +305,13 @@ func Latency(c LatencyConfig) (LatencyResult, error) {
 	r, err := workloads.Latency(workloads.LatencyParams{
 		Lock: c.Lock.kind(), Binding: c.Binding.binding(),
 		Threads: c.Threads, MsgBytes: c.MsgBytes, Iters: c.Iters, Seed: c.Seed,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return LatencyResult{}, err
 	}
-	return LatencyResult{AvgOneWayUs: r.AvgOneWayUs, SimNs: r.SimNs}, nil
+	return LatencyResult{AvgOneWayUs: r.AvgOneWayUs, SimNs: r.SimNs,
+		Net: netStats(r.Net)}, nil
 }
 
 // N2NConfig parametrizes the all-to-all streaming benchmark (paper §5.2).
@@ -226,6 +322,8 @@ type N2NConfig struct {
 	MsgBytes int64
 	Windows  int
 	Seed     uint64
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // N2NResult reports the N2N benchmark.
@@ -233,6 +331,8 @@ type N2NResult struct {
 	RateMsgsPerSec float64
 	SimNs          int64
 	UnexpectedHits int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // N2N runs the all-to-all streaming benchmark.
@@ -240,12 +340,13 @@ func N2N(c N2NConfig) (N2NResult, error) {
 	r, err := workloads.N2N(workloads.N2NParams{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return N2NResult{}, err
 	}
 	return N2NResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs,
-		UnexpectedHits: r.UnexpectedHits}, nil
+		UnexpectedHits: r.UnexpectedHits, Net: netStats(r.Net)}, nil
 }
 
 // RMAOp selects the one-sided operation.
@@ -269,12 +370,16 @@ type RMAConfig struct {
 	Seed      uint64
 	// SelectiveWakeup enables event-driven progress (§9 future work).
 	SelectiveWakeup bool
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // RMAResult reports the RMA benchmark.
 type RMAResult struct {
 	RateElemPerSec float64
 	SimNs          int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // RMA runs the one-sided benchmark.
@@ -289,12 +394,13 @@ func RMA(c RMAConfig) (RMAResult, error) {
 	r, err := workloads.RMA(workloads.RMAParams{
 		Lock: c.Lock.kind(), Op: op, Procs: c.Procs,
 		ElemBytes: c.ElemBytes, Ops: c.Ops, Window: 1, Seed: c.Seed,
-		SelectiveWakeup: c.SelectiveWakeup,
+		SelectiveWakeup: c.SelectiveWakeup, Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return RMAResult{}, err
 	}
-	return RMAResult{RateElemPerSec: r.RateElemPerSec, SimNs: r.SimNs}, nil
+	return RMAResult{RateElemPerSec: r.RateElemPerSec, SimNs: r.SimNs,
+		Net: netStats(r.Net)}, nil
 }
 
 // BFSConfig parametrizes the Graph500 BFS kernel (paper §6.2.1).
@@ -306,6 +412,8 @@ type BFSConfig struct {
 	// Scale is log2 of the vertex count (edge factor 16).
 	Scale int
 	Seed  uint64
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // BFSResult reports the BFS kernel.
@@ -313,6 +421,8 @@ type BFSResult struct {
 	MTEPS           float64
 	SimNs           int64
 	VisitedVertices int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // BFS runs the Graph500 BFS kernel.
@@ -320,12 +430,13 @@ func BFS(c BFSConfig) (BFSResult, error) {
 	r, err := graph500.Run(graph500.Params{
 		Lock: c.Lock.kind(), Binding: c.Binding.binding(),
 		Procs: c.Procs, Threads: c.Threads, Scale: c.Scale, Seed: c.Seed,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return BFSResult{}, err
 	}
 	return BFSResult{MTEPS: r.MTEPS, SimNs: r.SimNs,
-		VisitedVertices: r.VisitedVertices}, nil
+		VisitedVertices: r.VisitedVertices, Net: netStats(r.Net)}, nil
 }
 
 // StencilConfig parametrizes the 3-D 7-point stencil kernel (paper §6.2.2).
@@ -339,6 +450,8 @@ type StencilConfig struct {
 	// Funneled uses the MPI_THREAD_FUNNELED structure (thread 0
 	// communicates, lock-free runtime) instead of THREAD_MULTIPLE.
 	Funneled bool
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // StencilResult reports the stencil kernel.
@@ -347,6 +460,8 @@ type StencilResult struct {
 	SimNs                       int64
 	MPIPct, ComputePct, SyncPct float64
 	Checksum                    float64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // Stencil runs the 3-D stencil kernel.
@@ -354,13 +469,14 @@ func Stencil(c StencilConfig) (StencilResult, error) {
 	r, err := stencil.Run(stencil.Params{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		NX: c.NX, NY: c.NY, NZ: c.NZ, Iters: c.Iters, Seed: c.Seed,
-		Funneled: c.Funneled,
+		Funneled: c.Funneled, Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return StencilResult{}, err
 	}
 	return StencilResult{GFlops: r.GFlops, SimNs: r.SimNs, MPIPct: r.MPIPct,
-		ComputePct: r.ComputePct, SyncPct: r.SyncPct, Checksum: r.Checksum}, nil
+		ComputePct: r.ComputePct, SyncPct: r.SyncPct, Checksum: r.Checksum,
+		Net: netStats(r.Net)}, nil
 }
 
 // AssemblyConfig parametrizes the SWAP-style genome assembly application
@@ -371,6 +487,8 @@ type AssemblyConfig struct {
 	GenomeLen int
 	Reads     int
 	Seed      uint64
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // AssemblyResult reports the assembly run.
@@ -379,6 +497,8 @@ type AssemblyResult struct {
 	Contigs     int
 	ContigBases int64
 	N50         int
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // Assembly runs the genome assembly application.
@@ -386,12 +506,13 @@ func Assembly(c AssemblyConfig) (AssemblyResult, error) {
 	r, err := genome.Run(genome.Params{
 		Lock: c.Lock.kind(), Procs: c.Procs,
 		GenomeLen: c.GenomeLen, Reads: c.Reads, Seed: c.Seed,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return AssemblyResult{}, err
 	}
 	return AssemblyResult{SimNs: r.SimNs, Contigs: len(r.Contigs),
-		ContigBases: r.ContigBases, N50: r.N50}, nil
+		ContigBases: r.ContigBases, N50: r.N50, Net: netStats(r.Net)}, nil
 }
 
 // Figure is a rendered experiment table.
@@ -452,12 +573,16 @@ type PatternConfig struct {
 	MsgBytes int64
 	Msgs     int
 	Seed     uint64
+	// Fault injects network/scheduler faults (zero = perfect network).
+	Fault FaultConfig
 }
 
 // PatternResult reports one battery run.
 type PatternResult struct {
 	RateMsgsPerSec float64
 	SimNs          int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
 }
 
 // Pattern runs one scenario of the multithreaded pattern battery.
@@ -474,9 +599,11 @@ func Pattern(c PatternConfig) (PatternResult, error) {
 	r, err := workloads.RunPattern(workloads.PatternParams{
 		Lock: c.Lock.kind(), Pattern: pat, Threads: c.Threads,
 		MsgBytes: c.MsgBytes, Msgs: c.Msgs, Seed: c.Seed,
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return PatternResult{}, err
 	}
-	return PatternResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs}, nil
+	return PatternResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs,
+		Net: netStats(r.Net)}, nil
 }
