@@ -1,0 +1,38 @@
+# Single entry point for local development and CI.
+#
+#   make check   build + vet + simcheck + test — what CI gates on
+#   make race    full test suite under the race detector
+#   make shuffle test suite with shuffled execution order
+#   make soak    quick chaos-experiment soak run
+#   make figures regenerate the full figure output
+
+GO ?= go
+
+.PHONY: check build vet simcheck test race shuffle soak figures
+
+check: build vet simcheck test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+simcheck:
+	$(GO) run ./cmd/simcheck ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+soak:
+	$(GO) build -o /tmp/mpistorm ./cmd/mpistorm
+	/tmp/mpistorm -quick -experiment chaos
+
+figures:
+	$(GO) run ./cmd/mpistorm -experiment all -quick

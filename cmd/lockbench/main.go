@@ -9,6 +9,13 @@
 //	lockbench -goroutines 8 -duration 500ms
 package main
 
+// This binary deliberately runs real goroutines against wall-clock
+// measurement windows: it benchmarks the real-threads lock library, not
+// the simulation.
+//
+//simcheck:allow-file nodeterm real-threads benchmark measures wall-clock windows
+//simcheck:allow-file nogoroutine real-threads benchmark contends actual goroutines
+
 import (
 	"flag"
 	"fmt"

@@ -12,6 +12,8 @@
 // paper's plot; EXPERIMENTS.md records the paper-vs-measured comparison.
 package main
 
+//simcheck:allow-file nodeterm harness wall-clock timing of real runs; simulation state is seeded inside experiments
+
 import (
 	"flag"
 	"fmt"

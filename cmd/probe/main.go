@@ -2,6 +2,8 @@
 // health check used during development.
 package main
 
+//simcheck:allow-file nodeterm harness wall-clock timing of real runs; simulation state is seeded inside experiments
+
 import (
 	"fmt"
 	"time"

@@ -1,0 +1,161 @@
+// Command simcheck runs the repository's determinism-and-lock-discipline
+// analyzers (see internal/analysis) over module packages and exits
+// non-zero on any diagnostic. It is part of `make check` and CI.
+//
+// Usage:
+//
+//	go run ./cmd/simcheck ./...          # whole module
+//	go run ./cmd/simcheck ./internal/mpi # one package
+//	go run ./cmd/simcheck -list          # describe the analyzers
+//
+// Diagnostics print as file:line:col: message [rule]. Suppress a
+// legitimate finding with an annotation on or above the line:
+//
+//	//simcheck:allow <rule> <reason>
+//
+// or, for whole files outside the simulation discipline:
+//
+//	//simcheck:allow-file <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/all"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	analyzers := all.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modRoot, err := findModRoot()
+	if err != nil {
+		fatalf("cannot find go.mod above the working directory: %v", err)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	dirs, err := resolvePatterns(modRoot, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, rel := range dirs {
+		importPath := loader.ModPath
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		pkgs, err := loader.LoadDir(filepath.Join(modRoot, rel), importPath)
+		if err != nil {
+			fatalf("loading %s: %v", importPath, err)
+		}
+		for _, pkg := range pkgs {
+			d, err := analysis.Run(pkg, analyzers)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			diags = append(diags, d...)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, file); err == nil {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "simcheck: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns maps command-line package patterns onto module-relative
+// directories. Supported: ./... (default), dir, dir/... .
+func resolvePatterns(modRoot string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	allDirs, err := analysis.PackageDirs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, arg := range args {
+		recursive := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			recursive = true
+			arg = rest
+		}
+		arg = filepath.Clean(strings.TrimPrefix(arg, "./"))
+		if arg == "" || arg == "." {
+			if recursive {
+				for _, d := range allDirs {
+					add(d)
+				}
+				continue
+			}
+			add(".")
+			continue
+		}
+		matched := false
+		for _, d := range allDirs {
+			if d == arg || (recursive && strings.HasPrefix(d, arg+string(filepath.Separator))) {
+				add(d)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", arg)
+		}
+	}
+	return out, nil
+}
+
+// findModRoot walks up from the working directory to the go.mod root.
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "simcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,6 +7,13 @@
 //	go run ./examples/reallocks
 package main
 
+// This example deliberately runs real goroutines against wall-clock
+// measurement windows: it demonstrates the real-threads lock library, not
+// the simulation.
+//
+//simcheck:allow-file nodeterm real-threads demo measures wall-clock windows
+//simcheck:allow-file nogoroutine real-threads demo contends actual goroutines
+
 import (
 	"fmt"
 	"sync"

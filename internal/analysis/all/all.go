@@ -1,0 +1,21 @@
+// Package all registers every simcheck analyzer, for the cmd/simcheck
+// driver and any future tooling that wants the full suite.
+package all
+
+import (
+	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/lockpair"
+	"mpicontend/internal/analysis/maporder"
+	"mpicontend/internal/analysis/nodeterm"
+	"mpicontend/internal/analysis/nogoroutine"
+)
+
+// Analyzers returns the full simcheck suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockpair.Analyzer,
+		maporder.Analyzer,
+		nodeterm.Analyzer,
+		nogoroutine.Analyzer,
+	}
+}

@@ -1,0 +1,215 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis, built on the standard library's go/ast
+// and go/types. It exists because this repository is stdlib-only: the
+// simcheck analyzers (nodeterm, lockpair, nogoroutine, maporder) plug into
+// this framework and are driven by cmd/simcheck and by the analysistest
+// test harness.
+//
+// The API mirrors the upstream shape — an Analyzer holds a Run function
+// that receives a Pass with the parsed files and full type information for
+// one package — so the analyzers could be ported to the real framework by
+// changing imports.
+//
+// # Suppressing diagnostics
+//
+// A diagnostic can be suppressed with an allow directive comment:
+//
+//	//simcheck:allow <rule> <reason>
+//
+// placed on the offending line or on the line directly above it. The rule
+// must be the analyzer name (or "all") and the reason is mandatory — a
+// directive without a reason is ignored, so the diagnostic still fires.
+// The variant
+//
+//	//simcheck:allow-file <rule> <reason>
+//
+// suppresses the rule for the whole file, for files that are legitimately
+// outside the simulation discipline (real-threads benchmark harnesses).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Applies reports whether the analyzer checks the package with the
+	// given import path. Nil means it applies everywhere.
+	Applies func(importPath string) bool
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned for the driver's output.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path of the package under analysis
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  *[]Diagnostic
+	allows map[*ast.File]*fileAllows
+}
+
+// fileAllows holds the parsed allow directives of one file.
+type fileAllows struct {
+	fileWide map[string]bool
+	byLine   map[int]map[string]bool
+}
+
+// allowPrefix introduces line-scoped directives; allowFilePrefix file-wide
+// ones. Both require a reason after the rule name.
+const (
+	allowPrefix     = "//simcheck:allow "
+	allowFilePrefix = "//simcheck:allow-file "
+)
+
+// parseAllows extracts the allow directives of f. Malformed directives
+// (no rule, or rule without a reason) are ignored so the underlying
+// diagnostic still fires and prompts a real justification.
+func parseAllows(fset *token.FileSet, f *ast.File) *fileAllows {
+	fa := &fileAllows{fileWide: map[string]bool{}, byLine: map[int]map[string]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			fileWide := false
+			var rest string
+			switch {
+			case strings.HasPrefix(text, allowFilePrefix):
+				fileWide = true
+				rest = text[len(allowFilePrefix):]
+			case strings.HasPrefix(text, allowPrefix):
+				rest = text[len(allowPrefix):]
+			default:
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // rule without a reason: not a valid suppression
+			}
+			rule := fields[0]
+			if fileWide {
+				fa.fileWide[rule] = true
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if fa.byLine[l] == nil {
+					fa.byLine[l] = map[string]bool{}
+				}
+				fa.byLine[l][rule] = true
+			}
+		}
+	}
+	return fa
+}
+
+// allowed reports whether a diagnostic of this pass's rule at pos is
+// suppressed by an allow directive.
+func (p *Pass) allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != position.Filename {
+			continue
+		}
+		fa := p.allows[f]
+		if fa == nil {
+			fa = parseAllows(p.Fset, f)
+			p.allows[f] = fa
+		}
+		for _, rule := range []string{p.Analyzer.Name, "all"} {
+			if fa.fileWide[rule] || fa.byLine[position.Line][rule] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.allowed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each applicable analyzer to the loaded package and returns
+// the diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			allows:   map[*ast.File]*fileAllows{},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, rule, message
+// so driver output is stable.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// PathHasSegment reports whether the import path contains seg as a whole
+// slash-separated element — the helper analyzers use for scoping.
+func PathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded analysis unit: a package's files (including its
+// in-package _test.go files) with full type information. External test
+// packages (package foo_test) load as a separate unit that shares the
+// directory's import path for analyzer-scoping purposes.
+type Package struct {
+	Path  string // import path used for analyzer scoping
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module without the
+// go command or network access: module-internal imports resolve by mapping
+// the import path onto the module root, and standard-library imports
+// resolve through the stdlib source importer (GOROOT/src).
+type Loader struct {
+	ModPath string // module path from go.mod (e.g. "mpicontend")
+	ModRoot string // absolute directory containing go.mod
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*types.Package // import-resolution cache (non-test files only)
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot string) (*Loader, error) {
+	modPath, err := modulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModPath: modPath,
+		ModRoot: modRoot,
+		fset:    fset,
+		std:     std,
+		cache:   map[string]*types.Package{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath reads the module path out of modRoot/go.mod.
+func modulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", modRoot)
+}
+
+// Import resolves an import path for go/types: module-internal paths load
+// from source under the module root, everything else through the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		files, err := l.parseDir(filepath.Join(l.ModRoot, rel), func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		l.cache[path] = pkg
+	}
+	return pkg, err
+}
+
+// parseDir parses the .go files of dir accepted by keep (nil keeps all).
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || (keep != nil && !keep(name)) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo returns a fully-populated types.Info for analysis.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadDir loads the analysis units of one directory: the package itself
+// (with its in-package test files) and, if present, the external _test
+// package. importPath is the directory's import path; it is used both for
+// import resolution and for analyzer scoping.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	all, err := l.parseDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	// Split files into the base package and an external test package.
+	var baseName string
+	for _, f := range all {
+		name := f.Name.Name
+		if !strings.HasSuffix(name, "_test") {
+			baseName = name
+			break
+		}
+	}
+	var base, ext []*ast.File
+	for _, f := range all {
+		if baseName != "" && f.Name.Name == baseName+"_test" {
+			ext = append(ext, f)
+		} else {
+			base = append(base, f)
+		}
+	}
+	var pkgs []*Package
+	if len(base) > 0 {
+		p, err := l.check(importPath, importPath, dir, base)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(ext) > 0 {
+		p, err := l.check(importPath+"_test", importPath, dir, ext)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check type-checks files as checkPath, scoping the result under scopePath.
+func (l *Loader) check(checkPath, scopePath, dir string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(checkPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  scopePath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// PackageDirs walks the module rooted at modRoot and returns the relative
+// directories containing .go files, sorted, skipping testdata, hidden, and
+// vendor directories.
+func PackageDirs(modRoot string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(modRoot, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			rel, err := filepath.Rel(modRoot, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+				dirs = append(dirs, rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

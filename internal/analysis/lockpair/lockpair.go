@@ -1,0 +1,232 @@
+// Package lockpair enforces the critical-section discipline of the
+// simulated MPI runtime (internal/mpi): every lock acquisition must have a
+// matching release on all return paths of the same function, and nothing
+// may block on real concurrency primitives while the critical section is
+// held. An unbalanced section, or a baton-channel operation under the
+// lock, corrupts exactly the arbitration measurements the paper is about
+// (who gets the critical section next, and when).
+//
+// The check is flow-insensitive, per function, per lock expression:
+//
+//   - Calls named Acquire/enter/mainBegin/stateBegin are acquisitions;
+//     Release/exit/mainEnd/stateEnd are the matching releases. The pair
+//     kind and the receiver text (p.cs, p.queueCS, th, ...) form the key.
+//   - More acquisitions than releases of one key means some path leaks
+//     the section. A release with no acquisition in the same function is
+//     a protocol wrapper and must be annotated.
+//   - Between an acquisition and its release (or the end of the enclosing
+//     block), go statements, channel sends/receives, select statements,
+//     and sim.Thread.Park calls are flagged. Virtual-time th.S.Sleep is
+//     fine — it models work inside the section.
+//
+// Cross-function protocol wrappers (mainBegin/mainEnd themselves, the
+// csLock.enter/exit helpers) carry //simcheck:allow lockpair annotations.
+package lockpair
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+
+	"mpicontend/internal/analysis"
+)
+
+// pairKind maps acquire-like and release-like method names onto the pair
+// they belong to, so th.mainBegin cannot be "matched" by th.stateEnd.
+var acquireKind = map[string]string{
+	"Acquire": "Acquire/Release", "enter": "enter/exit",
+	"mainBegin": "mainBegin/mainEnd", "stateBegin": "stateBegin/stateEnd",
+}
+var releaseKind = map[string]string{
+	"Release": "Acquire/Release", "exit": "enter/exit",
+	"mainEnd": "mainBegin/mainEnd", "stateEnd": "stateBegin/stateEnd",
+}
+
+// Analyzer is the lockpair rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockpair",
+	Doc: "critical-section Acquire/Release (and mainBegin/mainEnd, " +
+		"stateBegin/stateEnd) must pair on all return paths, and no real " +
+		"blocking (go, channel ops, select, Park) may happen while held",
+	Applies: func(path string) bool {
+		return strings.Contains(path, "internal/mpi")
+	},
+	Run: run,
+}
+
+// site is one acquire or release occurrence.
+type site struct {
+	pos  token.Pos
+	key  string // pair kind + receiver expression text
+	name string // method name as written
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc applies both rules to one function body. For the pairing
+// counts the whole body, closures included, is one bag: a deferred
+// closure releasing the section balances the function's acquisition.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var acquires, releases []site
+	collectSites(fd.Body, &acquires, &releases, true)
+
+	byKey := map[string][2][]site{}
+	for _, a := range acquires {
+		e := byKey[a.key]
+		e[0] = append(e[0], a)
+		byKey[a.key] = e
+	}
+	for _, r := range releases {
+		e := byKey[r.key]
+		e[1] = append(e[1], r)
+		byKey[r.key] = e
+	}
+	// Deterministic report order: first occurrence position per key.
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	firstPos := func(k string) token.Pos {
+		p := token.Pos(1 << 30)
+		for _, group := range byKey[k] {
+			for _, s := range group {
+				if s.pos < p {
+					p = s.pos
+				}
+			}
+		}
+		return p
+	}
+	sort.Slice(keys, func(i, j int) bool { return firstPos(keys[i]) < firstPos(keys[j]) })
+	for _, k := range keys {
+		acq, rel := byKey[k][0], byKey[k][1]
+		pair, recv := splitKey(k)
+		switch {
+		case len(acq) > len(rel):
+			pass.Reportf(acq[0].pos,
+				"%d %s acquisition(s) of %s but only %d release(s); a return path leaks the critical section",
+				len(acq), pair, recv, len(rel))
+		case len(acq) == 0 && len(rel) > 0:
+			pass.Reportf(rel[0].pos,
+				"%s release of %s with no acquisition in this function; annotate protocol wrappers with //simcheck:allow lockpair <reason>",
+				pair, recv)
+		}
+	}
+
+	scanHeldBlocks(pass, fd.Body)
+}
+
+// collectSites records acquire/release calls under n; funcLits controls
+// whether function-literal bodies are included.
+func collectSites(n ast.Node, acquires, releases *[]site, funcLits bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && !funcLits && x != n {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if kind, ok := acquireKind[name]; ok {
+			*acquires = append(*acquires, site{call.Pos(), kind + "\x00" + exprText(sel.X), name})
+		} else if kind, ok := releaseKind[name]; ok {
+			*releases = append(*releases, site{call.Pos(), kind + "\x00" + exprText(sel.X), name})
+		}
+		return true
+	})
+}
+
+// scanHeldBlocks walks every statement list (closure bodies included;
+// each list accounts independently) and flags real blocking constructs
+// appearing while at least one critical section opened in the same list
+// is still held.
+func scanHeldBlocks(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		held := 0
+		for _, stmt := range list {
+			var acq, rel []site
+			collectSites(stmt, &acq, &rel, false)
+			if held > 0 {
+				reportBlocking(pass, stmt)
+			}
+			held += len(acq) - len(rel)
+			if held < 0 {
+				held = 0
+			}
+		}
+		return true
+	})
+}
+
+// reportBlocking flags the real-concurrency constructs inside stmt.
+func reportBlocking(pass *analysis.Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement while the critical section is held")
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send while the critical section is held")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(), "channel receive while the critical section is held")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(x.Pos(), "select while the critical section is held")
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Park" {
+				pass.Reportf(x.Pos(), "Park while the critical section is held; release before blocking")
+			}
+		}
+		return true
+	})
+}
+
+// exprText renders an expression (a lock receiver chain) as source text.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// splitKey separates a site key back into pair kind and receiver text.
+func splitKey(k string) (pair, recv string) {
+	if i := strings.IndexByte(k, 0); i >= 0 {
+		return k[:i], k[i+1:]
+	}
+	return k, "?"
+}

@@ -1,0 +1,73 @@
+// Package a is golden-test input for the lockpair analyzer: critical
+// sections must pair acquisitions with releases per function, and nothing
+// may block on real concurrency while a section is held.
+package a
+
+type lock struct{}
+
+func (l *lock) Acquire() {}
+func (l *lock) Release() {}
+
+type runtime struct{}
+
+func (runtime) mainBegin() {}
+func (runtime) mainEnd()   {}
+func (runtime) stateEnd()  {}
+
+type parker struct{}
+
+func (parker) Park() {}
+
+func work() {}
+
+func leaks(l *lock) {
+	l.Acquire() // want `1 Acquire/Release acquisition\(s\) of l but only 0 release\(s\)`
+}
+
+func balanced(l *lock) {
+	l.Acquire()
+	defer l.Release()
+	work()
+}
+
+// doubleEntry leaks one of two acquisitions: still flagged.
+func doubleEntry(l *lock, again bool) {
+	l.Acquire() // want `2 Acquire/Release acquisition\(s\) of l but only 1 release\(s\)`
+	if again {
+		l.Acquire()
+	}
+	l.Release()
+}
+
+// mismatched pairs do not cancel: mainBegin cannot be closed by stateEnd.
+func mismatched(r runtime) {
+	r.mainBegin() // want `1 mainBegin/mainEnd acquisition\(s\) of r but only 0 release\(s\)`
+	r.stateEnd()  // want `stateBegin/stateEnd release of r with no acquisition`
+}
+
+func bareWrapper(l *lock) {
+	l.Release() // want `Acquire/Release release of l with no acquisition`
+}
+
+// annotatedWrapper is the legitimate protocol-wrapper shape: the release
+// closes a section opened in a caller, and the annotation records why.
+//
+//simcheck:allow lockpair testdata protocol wrapper; opened by the caller
+func annotatedWrapper(l *lock) { l.Release() }
+
+func blocksWhileHeld(l *lock, ch chan int, p parker) {
+	l.Acquire()
+	ch <- 1   // want `channel send while the critical section is held`
+	<-ch      // want `channel receive while the critical section is held`
+	go work() // want `go statement while the critical section is held`
+	p.Park()  // want `Park while the critical section is held`
+	l.Release()
+}
+
+// blocksAfterRelease is clean: the section is closed before the channel op.
+func blocksAfterRelease(l *lock, ch chan int) {
+	l.Acquire()
+	work()
+	l.Release()
+	ch <- 1
+}

@@ -1,0 +1,205 @@
+// Package maporder flags range statements over maps whose iteration order
+// can escape into observable state — report tables, trace renderings, or
+// request-queue ordering. Go randomizes map iteration, so any such range
+// is a run-to-run divergence waiting to happen, which the chaos
+// experiment's determinism re-run would report as corruption.
+//
+// Two body shapes are recognized as order-independent and allowed
+// without annotation:
+//
+//   - pure commutative reduction: only ++/--, op= assignments, delete
+//     calls, and if statements wrapping the same;
+//   - collect-then-sort: a single `s = append(s, k)` whose target is
+//     passed to a sort call later in the same function.
+//
+// Everything else must iterate over sorted keys or carry a
+// //simcheck:allow maporder annotation. Test files are skipped.
+package maporder
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mpicontend/internal/analysis"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid ranging over maps where the nondeterministic iteration " +
+		"order can reach output or queue ordering; iterate sorted keys or " +
+		"reduce commutatively",
+	Applies: func(path string) bool {
+		return !analysis.PathHasSegment(path, "locks")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// enclosing tracks the function body a range statement sits in,
+		// for the collect-then-sort lookahead.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderIndependent(rs.Body.List) {
+				return true
+			}
+			if collectThenSort(rs, enclosingBody(stack)) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has nondeterministic iteration order; iterate sorted keys, reduce commutatively, or annotate with //simcheck:allow maporder <reason>",
+				exprText(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// orderIndependent reports whether every statement is a commutative
+// reduction step, so iteration order cannot be observed.
+func orderIndependent(list []ast.Stmt) bool {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.QUO_ASSIGN, token.REM_ASSIGN, token.AND_ASSIGN,
+				token.OR_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN,
+				token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+			default:
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "delete" {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !orderIndependent(s.Body.List) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !orderIndependent(e.List) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !orderIndependent([]ast.Stmt{e}) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectThenSort recognizes the `for k := range m { s = append(s, k) }`
+// idiom followed by a sort call on s later in the enclosing function.
+func collectThenSort(rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 ||
+		(as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	target := exprText(as.Lhs[0])
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if isSortCall(call.Fun) && exprText(call.Args[0]) == target {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognizes package sort calls and project sort helpers
+// (functions whose name starts with sort/Sort, like sortKmers).
+func isSortCall(fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok && id.Name == "sort" {
+			return true
+		}
+		return strings.HasPrefix(f.Sel.Name, "sort") || strings.HasPrefix(f.Sel.Name, "Sort")
+	case *ast.Ident:
+		return strings.HasPrefix(f.Name, "sort") || strings.HasPrefix(f.Name, "Sort")
+	}
+	return false
+}
+
+// enclosingBody returns the body of the innermost function enclosing the
+// node on top of the stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// exprText renders an expression as source text for diagnostics.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

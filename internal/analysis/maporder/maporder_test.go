@@ -1,0 +1,22 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/maporder"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/a",
+		"mpicontend/internal/analysis/maporder/testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	if maporder.Analyzer.Applies("mpicontend/locks") {
+		t.Errorf("maporder must not apply to the real-threads lock library")
+	}
+	if !maporder.Analyzer.Applies("mpicontend/internal/trace") {
+		t.Errorf("maporder must apply to reporting packages")
+	}
+}

@@ -1,0 +1,83 @@
+// Package a is golden-test input for the maporder analyzer: map ranges
+// whose iteration order can escape must be flagged; commutative reductions
+// and the collect-then-sort idiom must not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func leaky(m map[string]int) {
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		fmt.Println(k)
+	}
+}
+
+// ordering order matters for appends that are never sorted.
+func ordering(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// reduce is a pure commutative reduction: order cannot be observed.
+func reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// prune mixes delete, continue, and an if-wrapped reduction — all
+// order-independent shapes.
+func prune(m map[string]int) int {
+	kept := 0
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+			continue
+		}
+		kept++
+	}
+	return kept
+}
+
+// collect uses the collect-then-sort idiom: allowed without annotation.
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectCustom sorts through a project helper whose name marks it a sort.
+func collectCustom(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+func allowed(m map[string]int) {
+	//simcheck:allow maporder testdata exercises the allowlist
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// slices are not maps: never flagged.
+func sliceRange(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}

@@ -1,0 +1,91 @@
+// Package nodeterm forbids wall-clock reads and ambient randomness on
+// simulation paths. The reproduction's claims rest on bit-determinism: a
+// run is a pure function of its seed, so re-runs (the chaos experiment's
+// determinism check, the golden figure diff) can detect corruption. A
+// single time.Now or math/rand call on a sim path silently breaks that.
+//
+// Forbidden in every package except the real-threads lock library
+// (locks/): calls to time.Now, time.Since, time.Until, time.Sleep,
+// time.After, time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker,
+// and any import of math/rand, math/rand/v2, or crypto/rand. Randomness
+// must come from the engine's seeded stream (internal/sim.Rand);
+// durations must be virtual (sim.Time).
+//
+// Legitimate wall-clock uses — the engine's watchdog, harness timing in
+// cmd/ binaries — carry //simcheck:allow nodeterm annotations.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpicontend/internal/analysis"
+)
+
+// forbiddenTimeFuncs are the package time functions that read or depend on
+// the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenImports are ambient randomness sources; simulation code must
+// use the engine's seeded internal/sim.Rand stream instead.
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Analyzer is the nodeterm rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid wall-clock reads (time.Now etc.) and ambient randomness " +
+		"(math/rand, crypto/rand) on simulation paths; use the engine's " +
+		"virtual clock and seeded sim.Rand stream",
+	Applies: func(path string) bool {
+		return !analysis.PathHasSegment(path, "locks")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if forbiddenImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %q is nondeterministic; use the seeded internal/sim RNG (sim.Rand)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			if obj.Pkg().Path() == "time" && forbiddenTimeFuncs[obj.Name()] {
+				pass.Reportf(id.Pos(),
+					"wall-clock call time.%s on a simulation path; use the engine's virtual clock (sim.Time)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importPath unquotes an import spec's path.
+func importPath(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,22 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/nodeterm"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, nodeterm.Analyzer, "testdata/src/a",
+		"mpicontend/internal/analysis/nodeterm/testdata/src/a")
+}
+
+func TestDoesNotApplyToLocks(t *testing.T) {
+	if nodeterm.Analyzer.Applies("mpicontend/locks") {
+		t.Errorf("nodeterm must not apply to the real-threads lock library")
+	}
+	if !nodeterm.Analyzer.Applies("mpicontend/internal/sim") {
+		t.Errorf("nodeterm must apply to the simulation engine")
+	}
+}

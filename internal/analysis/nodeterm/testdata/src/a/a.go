@@ -1,0 +1,40 @@
+// Package a is golden-test input for the nodeterm analyzer: wall-clock
+// reads and ambient randomness must be flagged unless annotated.
+package a
+
+import (
+	"fmt"
+	"time"
+
+	_ "math/rand" // want `import of "math/rand" is nondeterministic`
+)
+
+func wall() {
+	start := time.Now()            // want `wall-clock call time\.Now`
+	fmt.Println(time.Since(start)) // want `wall-clock call time\.Since`
+	time.Sleep(time.Millisecond)   // want `wall-clock call time\.Sleep`
+}
+
+// virtual shows that mere package-time value uses (constants, types) are
+// not flagged — only the wall-clock functions are.
+func virtual() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func allowedSameLine() {
+	start := time.Now() //simcheck:allow nodeterm testdata exercises the same-line allowlist
+	_ = start
+}
+
+func allowedNextLine() {
+	//simcheck:allow nodeterm testdata exercises the next-line allowlist
+	start := time.Now()
+	_ = start
+}
+
+// unreasoned directives are ignored: the diagnostic still fires.
+func malformedAllow() {
+	//simcheck:allow nodeterm
+	start := time.Now() // want `wall-clock call time\.Now`
+	_ = start
+}

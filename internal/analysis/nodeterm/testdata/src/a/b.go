@@ -1,0 +1,11 @@
+package a
+
+// The file-wide form silences every nodeterm diagnostic in this file.
+//
+//simcheck:allow-file nodeterm testdata exercises the file-wide allowlist
+
+import "time"
+
+func fileWideAllowed() time.Time {
+	return time.Now()
+}

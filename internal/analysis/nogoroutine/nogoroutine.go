@@ -1,0 +1,65 @@
+// Package nogoroutine forbids raw concurrency outside the two places it
+// belongs: the simulation engine (internal/sim, which multiplexes
+// simthreads over goroutines with a baton hand-off) and the real-threads
+// lock library (locks/, whose whole point is real contention). Everywhere
+// else a go statement, a channel, or a sync primitive bypasses the
+// engine's deterministic scheduler and destroys reproducibility.
+//
+// Flagged: go statements; imports of sync and sync/atomic; channel types,
+// sends, receives, and selects. Real-threads demo binaries (cmd/lockbench,
+// examples/reallocks) carry //simcheck:allow-file nogoroutine annotations.
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"mpicontend/internal/analysis"
+)
+
+// Analyzer is the nogoroutine rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid raw go statements, channels, and sync primitives outside " +
+		"internal/sim (the engine owns scheduling) and locks/ (the " +
+		"real-threads library)",
+	Applies: func(path string) bool {
+		return !analysis.PathHasSegment(path, "locks") &&
+			!strings.HasSuffix(path, "internal/sim")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "sync", "sync/atomic":
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/sim and locks/; the simulation must multiplex via the engine",
+					strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(x.Pos(),
+					"raw goroutine outside internal/sim; spawn simthreads through the engine instead")
+			case *ast.ChanType:
+				pass.Reportf(x.Pos(),
+					"raw channel outside internal/sim; use engine events or thread parking instead")
+			case *ast.SendStmt:
+				pass.Reportf(x.Pos(), "raw channel send outside internal/sim")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					pass.Reportf(x.Pos(), "raw channel receive outside internal/sim")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(x.Pos(), "select outside internal/sim")
+			}
+			return true
+		})
+	}
+	return nil
+}

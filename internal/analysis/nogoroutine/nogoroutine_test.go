@@ -1,0 +1,24 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/nogoroutine"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata/src/a",
+		"mpicontend/internal/analysis/nogoroutine/testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	for _, exempt := range []string{"mpicontend/locks", "mpicontend/internal/sim"} {
+		if nogoroutine.Analyzer.Applies(exempt) {
+			t.Errorf("nogoroutine must not apply to %s", exempt)
+		}
+	}
+	if !nogoroutine.Analyzer.Applies("mpicontend/internal/mpi") {
+		t.Errorf("nogoroutine must apply to internal/mpi")
+	}
+}

@@ -1,0 +1,28 @@
+// Package a is golden-test input for the nogoroutine analyzer: raw
+// concurrency outside internal/sim and locks/ must be flagged.
+package a
+
+import (
+	"sync" // want `import of sync outside internal/sim`
+)
+
+func work() {}
+
+func spawns() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	go work() // want `raw goroutine outside internal/sim`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `raw channel outside internal/sim`
+	ch <- 1                 // want `raw channel send outside internal/sim`
+	<-ch                    // want `raw channel receive outside internal/sim`
+	select {}               // want `select outside internal/sim`
+}
+
+func allowedSpawn() {
+	//simcheck:allow nogoroutine testdata exercises the line allowlist
+	go work()
+}

@@ -1,0 +1,12 @@
+package a
+
+// The file-wide form marks a whole file as legitimately concurrent (the
+// real-threads benchmark harnesses use this).
+//
+//simcheck:allow-file nogoroutine testdata exercises the file-wide allowlist
+
+func fileWideAllowed() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,5 +1,12 @@
 package mpi
 
+// This file defines the critical-section protocol itself: mainBegin/
+// mainEnd, stateBegin/stateEnd, and the csLock enter/exit helpers open
+// and close sections across function boundaries by design. The lockpair
+// analyzer enforces pairing at their call sites throughout the package.
+//
+//simcheck:allow-file lockpair protocol wrappers; pairing is enforced at call sites
+
 import (
 	"mpicontend/internal/fabric"
 	"mpicontend/internal/machine"

@@ -374,8 +374,15 @@ func (w *World) CheckClean() error {
 			problems = append(problems, fmt.Sprintf("rank %d: %d requests dangling", p.Rank, p.danglingNow))
 		}
 		if p.rel != nil {
-			for src, fl := range p.rel.rx {
-				if n := len(fl.stash); n > 0 {
+			// Report in rank order: map iteration order would make the
+			// residue message differ between runs.
+			srcs := make([]int, 0, len(p.rel.rx))
+			for src := range p.rel.rx {
+				srcs = append(srcs, src)
+			}
+			sort.Ints(srcs)
+			for _, src := range srcs {
+				if n := len(p.rel.rx[src].stash); n > 0 {
 					problems = append(problems, fmt.Sprintf(
 						"rank %d: %d packets from rank %d stuck behind a sequence gap", p.Rank, n, src))
 				}

@@ -380,9 +380,13 @@ func (w *World) SpawnAsyncProgress(rank int) *Thread {
 // runtime-state cache-line migration on ownership changes. Used directly
 // by tests; regular call paths go through mainBegin/stateBegin/
 // progressRound, which honour the configured granularity.
+//
+//simcheck:allow lockpair test-only wrapper; tests pair enter/exit themselves
 func (th *Thread) enter(cl simlock.Class) { th.P.cs.enter(th, cl) }
 
 // exit releases the process's global critical section.
+//
+//simcheck:allow lockpair test-only wrapper; tests pair enter/exit themselves
 func (th *Thread) exit(cl simlock.Class) { th.P.cs.exit(th, cl) }
 
 func (th *Thread) cost() machine.CostModel { return th.P.w.Cfg.Cost }

@@ -154,7 +154,7 @@ func (e *Engine) dispatch(t *Thread) {
 // are left (a deadlock), or if a configured limit was exceeded.
 func (e *Engine) Run() error {
 	defer e.shutdown()
-	wallStart := time.Now()
+	wallStart := time.Now() //simcheck:allow nodeterm wall-clock watchdog; never feeds simulation state
 	for len(e.events) > 0 && !e.stopped {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
@@ -164,6 +164,7 @@ func (e *Engine) Run() error {
 			return fmt.Errorf("sim: exceeded MaxTime %d at event time %d", e.MaxTime, ev.when)
 		}
 		if e.MaxWall > 0 && e.eventsRun%wallCheckEvery == 0 {
+			//simcheck:allow nodeterm wall-clock watchdog; aborts hung runs, never feeds simulation state
 			if elapsed := time.Since(wallStart); elapsed > e.MaxWall {
 				return fmt.Errorf("sim: wall-clock watchdog: run exceeded %v (elapsed %v) at virtual time %d after %d events\n%s",
 					e.MaxWall, elapsed.Round(time.Millisecond), e.now, e.eventsRun, e.ThreadDump())

@@ -15,7 +15,7 @@ func TestWallClockWatchdogAborts(t *testing.T) {
 			th.Sleep(1)
 		}
 	})
-	start := time.Now()
+	start := time.Now() //simcheck:allow nodeterm this test measures the real watchdog
 	err := eng.Run()
 	if err == nil {
 		t.Fatal("runaway simulation must trip the wall-clock watchdog")
@@ -26,6 +26,7 @@ func TestWallClockWatchdogAborts(t *testing.T) {
 	if !strings.Contains(err.Error(), "spinner") {
 		t.Fatalf("error must include the thread dump: %v", err)
 	}
+	//simcheck:allow nodeterm this test measures the real watchdog
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("watchdog fired too late: %v", elapsed)
 	}

@@ -1,6 +1,10 @@
 package simlock
 
-import "mpicontend/internal/machine"
+import (
+	"sort"
+
+	"mpicontend/internal/machine"
+)
 
 // cohortBatch bounds how many consecutive hand-offs stay within one socket
 // before the cohort must pass the lock on; this is what separates a cohort
@@ -98,8 +102,14 @@ func (l *CohortLock) ContenderCount() int {
 func (l *CohortLock) waiterPlaces() []machine.Place {
 	var ps []machine.Place
 	ps = append(ps, l.global.WaiterPlaces()...)
-	for _, s := range l.socks {
-		ps = append(ps, s.tl.WaiterPlaces()...)
+	// Socket order, not map order, so the snapshot is deterministic.
+	keys := make([]int, 0, len(l.socks))
+	for k := range l.socks {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ps = append(ps, l.socks[k].tl.WaiterPlaces()...)
 	}
 	return ps
 }

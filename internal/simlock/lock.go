@@ -15,6 +15,8 @@
 package simlock
 
 import (
+	"sort"
+
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
 )
@@ -84,6 +86,22 @@ func (cfg *Config) emit(gi GrantInfo) {
 	if cfg.OnGrant != nil {
 		cfg.OnGrant(gi)
 	}
+}
+
+// appendCtxPlaces appends the placements of a waiting set to dst in
+// thread-id order: Go map iteration order is randomized, and an
+// order-dependent Waiters snapshot would make grant traces differ between
+// runs of the same seed.
+func appendCtxPlaces(dst []machine.Place, m map[*Ctx]bool) []machine.Place {
+	cs := make([]*Ctx, 0, len(m))
+	for c := range m {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].T.ID() < cs[j].T.ID() })
+	for _, c := range cs {
+		dst = append(dst, c.Place)
+	}
+	return dst
 }
 
 // Kind enumerates the lock implementations available to the runtime.

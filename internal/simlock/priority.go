@@ -93,12 +93,8 @@ func (p *PriorityLock) emit(c *Ctx, cl Class) {
 		return
 	}
 	ws := make([]machine.Place, 0, len(p.waitH)+len(p.waitL))
-	for w := range p.waitH {
-		ws = append(ws, w.Place)
-	}
-	for w := range p.waitL {
-		ws = append(ws, w.Place)
-	}
+	ws = appendCtxPlaces(ws, p.waitH)
+	ws = appendCtxPlaces(ws, p.waitL)
 	p.cfg.emit(GrantInfo{
 		At:       p.cfg.Eng.Now(),
 		ThreadID: c.T.ID(),

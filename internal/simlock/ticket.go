@@ -2,6 +2,7 @@ package simlock
 
 import (
 	"fmt"
+	"sort"
 
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
@@ -60,11 +61,17 @@ func (l *TicketLock) HasWaiters() bool { return len(l.waiters) > 0 }
 // ContenderCount returns the number of queued threads.
 func (l *TicketLock) ContenderCount() int { return len(l.waiters) }
 
-// WaiterPlaces snapshots the placements of queued threads.
+// WaiterPlaces snapshots the placements of queued threads, in ticket
+// (queue) order so the snapshot is deterministic.
 func (l *TicketLock) WaiterPlaces() []machine.Place {
-	ps := make([]machine.Place, 0, len(l.waiters))
-	for _, w := range l.waiters {
-		ps = append(ps, w.c.Place)
+	tickets := make([]uint64, 0, len(l.waiters))
+	for t := range l.waiters {
+		tickets = append(tickets, t)
+	}
+	sort.Slice(tickets, func(i, j int) bool { return tickets[i] < tickets[j] })
+	ps := make([]machine.Place, 0, len(tickets))
+	for _, t := range tickets {
+		ps = append(ps, l.waiters[t].c.Place)
 	}
 	return ps
 }

@@ -109,10 +109,18 @@ func (tr *TimelineRecorder) Render(width int) string {
 		case len(bk) == 0:
 			line[i] = '.'
 		default:
+			// Iterate threads in sorted order so the lowest id wins ties
+			// regardless of map iteration order.
+			ths := make([]int, 0, len(bk))
+			for th := range bk {
+				ths = append(ths, th)
+			}
+			sort.Ints(ths)
 			best, bestN, total := 0, 0, 0
-			for th, n := range bk {
+			for _, th := range ths {
+				n := bk[th]
 				total += n
-				if n > bestN || (n == bestN && th < best) {
+				if n > bestN {
 					best, bestN = th, n
 				}
 			}

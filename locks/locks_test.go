@@ -292,28 +292,7 @@ func BenchmarkMCS(b *testing.B) {
 	})
 }
 
-func TestCLHMutualExclusion(t *testing.T) {
-	const goroutines, iters = 8, 2000
-	l := NewCLH()
-	counter := 0
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			n := &CLHNode{}
-			for i := 0; i < iters; i++ {
-				l.Acquire(n)
-				counter++
-				n = l.Release(n)
-			}
-		}()
-	}
-	wg.Wait()
-	if counter != goroutines*iters {
-		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
-	}
-}
+// CLH tests live in clh_test.go.
 
 func BenchmarkCLH(b *testing.B) {
 	l := NewCLH()
