@@ -5,10 +5,11 @@
 #   make shuffle test suite with shuffled execution order
 #   make soak    quick chaos-experiment soak run
 #   make figures regenerate the full figure output
+#   make trace   record + validate a Perfetto trace of the fig8a probe
 
 GO ?= go
 
-.PHONY: check build vet simcheck test race shuffle soak figures
+.PHONY: check build vet simcheck test race shuffle soak figures trace
 
 check: build vet simcheck test
 
@@ -36,3 +37,6 @@ soak:
 
 figures:
 	$(GO) run ./cmd/mpistorm -experiment all -quick
+
+trace:
+	$(GO) run ./cmd/mpitrace -experiment fig8a -quick -check -out artifacts/trace

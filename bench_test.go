@@ -13,6 +13,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 	"mpicontend/internal/workloads"
 	"mpicontend/mpisim"
 )
@@ -230,3 +231,32 @@ func BenchmarkChaosSoakMutex(b *testing.B)    { benchChaos(b, simlock.KindMutex)
 func BenchmarkChaosSoakTicket(b *testing.B)   { benchChaos(b, simlock.KindTicket) }
 func BenchmarkChaosSoakPriority(b *testing.B) { benchChaos(b, simlock.KindPriority) }
 func BenchmarkChaosSoakMCS(b *testing.B)      { benchChaos(b, simlock.KindMCS) }
+
+// --- Telemetry overhead ---
+
+// benchTelemetry runs the fig8a-shaped contended throughput point with or
+// without the telemetry plane attached. Comparing the Disabled variant
+// against a pre-telemetry baseline (or against Enabled) quantifies the
+// cost of the nil-check hook sites on the hot path; the disabled path
+// must stay within noise (≤2%) of the untouched runtime.
+func benchTelemetry(b *testing.B, enabled bool) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		var rec *telemetry.Recorder
+		if enabled {
+			rec = telemetry.New()
+		}
+		r, err := workloads.Throughput(workloads.ThroughputParams{
+			Lock: simlock.KindMutex, Threads: 8, MsgBytes: 64,
+			Window: 32, Windows: 4, TraceRank: -1, Tel: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.RateMsgsPerSec
+	}
+	b.ReportMetric(rate, "msgs/s")
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, false) }
+func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetry(b, true) }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mpicontend/mpisim"
@@ -28,6 +29,8 @@ func main() {
 	exp := flag.String("experiment", "", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 	chart := flag.Bool("chart", false, "render ASCII charts in addition to tables")
+	jsonDir := flag.String("json", "", "also write each figure as <dir>/<id>.json (flat results schema)")
+	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -45,9 +48,15 @@ func main() {
 	if *exp == "all" {
 		ids = mpisim.Experiments()
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
-		figs, err := mpisim.RunExperiment(id, *quick)
+		figs, err := mpisim.RunExperimentSeeded(id, *quick, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
 			os.Exit(1)
@@ -56,6 +65,18 @@ func main() {
 			fmt.Printf("== %s — %s ==\n%s\n", f.ID, f.Title, f.Text)
 			if *chart && f.Chart != "" {
 				fmt.Println(f.Chart)
+			}
+			if *jsonDir != "" && f.Data != nil {
+				data, err := f.Data.Marshal()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mpistorm: marshal %s: %v\n", f.ID, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*jsonDir, f.ID+".json")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
+					os.Exit(1)
+				}
 			}
 		}
 		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())

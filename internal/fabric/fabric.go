@@ -11,6 +11,7 @@ import (
 	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
+	"mpicontend/internal/telemetry"
 )
 
 // PacketKind distinguishes the protocol messages exchanged by the MPI
@@ -108,6 +109,10 @@ type Fabric struct {
 	cost  machine.CostModel
 	eps   []*Endpoint
 	plane *fault.Plane // nil = perfect network
+
+	// Tel, when non-nil, records NIC injection and wire-flight spans on
+	// the telemetry plane. Purely observational.
+	Tel *telemetry.Recorder
 }
 
 // New creates a fabric over the given engine and cost model.
@@ -185,8 +190,15 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 	ep.PacketsSent++
 	ep.BytesSent += p.Bytes
 
+	if f.Tel != nil {
+		f.Tel.Inject(ep.id, p.Kind.String(), p.Bytes, start, injectEnd)
+	}
+
 	arrive := injectEnd + lat + v.ExtraNs
 	if !v.Drop {
+		if f.Tel != nil {
+			f.Tel.Flight(ep.id, p.Dst, p.Kind.String(), p.Bytes, injectEnd, arrive)
+		}
 		f.eng.At(arrive, func() { dst.deliver(p) })
 		if v.Duplicate {
 			// The copy shares the packet struct: handlers treat packets

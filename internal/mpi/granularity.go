@@ -11,6 +11,7 @@ import (
 	"mpicontend/internal/fabric"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 )
 
 // Granularity selects the critical-section granularity of the runtime,
@@ -59,10 +60,47 @@ type csLock struct {
 	lines      int64
 	owner      machine.Place
 	ownerValid bool
+
+	// Telemetry plane: tel is nil when disabled (the fast path is one
+	// pointer nil check); id is the registered lock track, holdStart and
+	// holdClass carry the current hold between enter and exit.
+	tel       *telemetry.Recorder
+	id        int
+	holdStart int64
+	holdClass uint8
+}
+
+// instrument attaches the lock to the telemetry plane under the given
+// track name. No-op when tel is nil.
+func (c *csLock) instrument(tel *telemetry.Recorder, name string) {
+	if tel == nil {
+		return
+	}
+	c.tel = tel
+	c.id = tel.RegisterLock(name)
+}
+
+// telClass maps the simlock scheduling class onto the telemetry alphabet.
+func telClass(cl simlock.Class) uint8 {
+	if cl == simlock.Low {
+		return telemetry.ClassLow
+	}
+	return telemetry.ClassHigh
 }
 
 func (c *csLock) enter(th *Thread, cl simlock.Class) {
+	var waitFrom int64
+	if c.tel != nil {
+		waitFrom = th.S.Now()
+	}
 	c.lock.Acquire(&th.lctx, cl)
+	if c.tel != nil {
+		now := th.S.Now()
+		c.tel.LockWait(c.id, th.S.ID(), telClass(cl), waitFrom, now)
+		c.holdStart = now
+		c.holdClass = telClass(cl)
+		th.holdUseful = false
+	}
 	cost := th.cost()
 	if c.ownerValid && c.owner != th.lctx.Place && c.lines > 0 {
 		th.S.Sleep(c.lines * cost.Transfer(c.owner, th.lctx.Place))
@@ -81,6 +119,10 @@ func (c *csLock) enter(th *Thread, cl simlock.Class) {
 }
 
 func (c *csLock) exit(th *Thread, cl simlock.Class) {
+	if c.tel != nil {
+		c.tel.LockHold(c.id, th.S.ID(), c.holdClass, th.holdUseful,
+			th.lctx.Place.Socket, th.lctx.Place.Core, c.holdStart, th.S.Now())
+	}
 	c.lock.Release(&th.lctx, cl)
 }
 
@@ -177,12 +219,20 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 		p.cs.exit(th, cl)
 	case GranFine:
 		p.nicCS.enter(th, cl)
+		var pollFrom int64
+		if p.w.tel != nil {
+			pollFrom = th.S.Now()
+		}
 		th.S.Sleep(cost.ProgressPollWork)
 		p.Polls++
 		var pkts []*fabric.Packet
 		for len(p.cq) > 0 && len(pkts) < maxEventsPerPoll {
 			pkts = append(pkts, p.cq[0])
 			p.cq = p.cq[1:]
+		}
+		th.holdUseful = len(pkts) > 0
+		if p.w.tel != nil {
+			p.w.tel.Poll(th.S.ID(), pollFrom, th.S.Now(), len(pkts))
 		}
 		p.nicCS.exit(th, cl)
 		if len(pkts) == 0 {
@@ -207,6 +257,10 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 			p.queueCS.exit(th, cl)
 		}
 	case GranLockFree:
+		var pollFrom int64
+		if p.w.tel != nil {
+			pollFrom = th.S.Now()
+		}
 		th.S.Sleep(cost.ProgressPollWork + cost.AtomicOpCost)
 		p.Polls++
 		handled := 0
@@ -216,6 +270,9 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 			th.S.Sleep(cost.ProgressHandleWork + cost.AtomicOpCost)
 			p.handlePacket(th, pkt)
 			handled++
+		}
+		if p.w.tel != nil {
+			p.w.tel.Poll(th.S.ID(), pollFrom, th.S.Now(), handled)
 		}
 		if handled > 0 {
 			th.pollBackoff = 0

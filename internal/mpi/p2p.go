@@ -12,6 +12,7 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 	p := th.P
 	cost := th.cost()
 	worldDst := c.world(dst)
+	tel := th.telStart()
 	th.mainBegin()
 	r := &Request{
 		p: p, kind: SendReq, dst: worldDst, src: p.Rank,
@@ -33,6 +34,7 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 		}, false, r)
 	}
 	th.mainEnd()
+	th.telCall("Isend", tel)
 	return r
 }
 
@@ -50,6 +52,7 @@ func (th *Thread) Irecv(c *Comm, src, tag int) *Request {
 func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 	p := th.P
 	cost := th.cost()
+	tel := th.telStart()
 	th.mainBegin()
 	r := &Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
 		comm: c, maxBytes: maxBytes}
@@ -81,6 +84,7 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 		p.posted = append(p.posted, r)
 	}
 	th.mainEnd()
+	th.telCall("Irecv", tel)
 	return r
 }
 
@@ -94,11 +98,13 @@ func (th *Thread) Wait(r *Request) error {
 		return r.raiseAs(ErrRequest)
 	}
 	cost := th.cost()
+	tel := th.telStart()
 	th.stateBegin(simlock.High)
 	if r.complete {
 		th.S.Sleep(cost.RequestFreeWork)
 		r.free()
 		th.stateEnd(simlock.High)
+		th.telCall("Wait", tel)
 		return r.raise()
 	}
 	th.stateEnd(simlock.High)
@@ -113,6 +119,7 @@ func (th *Thread) Wait(r *Request) error {
 			}
 		})
 		if done {
+			th.telCall("Wait", tel)
 			return r.raise()
 		}
 		th.progressYield()
@@ -152,16 +159,19 @@ func (th *Thread) Waitall(rs []*Request) error {
 		}
 	}
 
+	tel := th.telStart()
 	th.stateBegin(simlock.High)
 	reap()
 	th.stateEnd(simlock.High)
 	if remaining == 0 {
+		th.telCall("Waitall", tel)
 		return firstErr
 	}
 	th.pollBackoff = 0
 	for {
 		th.progressRound(simlock.Low, reap)
 		if remaining == 0 {
+			th.telCall("Waitall", tel)
 			return firstErr
 		}
 		th.progressYield()
@@ -174,6 +184,7 @@ func (th *Thread) Waitall(rs []*Request) error {
 // paper's explanation for priority ≈ ticket in the Graph500/stencil runs.
 func (th *Thread) Test(r *Request) bool {
 	cost := th.cost()
+	tel := th.telStart()
 	done := false
 	th.progressRound(simlock.High, func() {
 		if r.complete {
@@ -182,6 +193,7 @@ func (th *Thread) Test(r *Request) bool {
 			done = true
 		}
 	})
+	th.telCall("Test", tel)
 	if done {
 		// Run the error handler (panic under MPI_ERRORS_ARE_FATAL);
 		// under MPI_ERRORS_RETURN the caller inspects r.Err().

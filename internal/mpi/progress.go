@@ -33,6 +33,10 @@ const maxEventsPerPoll = 2
 // are therefore serialized, which is the contention the paper studies.
 func (p *Proc) pollOnce(th *Thread) {
 	cost := th.cost()
+	var pollFrom int64
+	if p.w.tel != nil {
+		pollFrom = th.S.Now()
+	}
 	th.S.Sleep(cost.ProgressPollWork)
 	p.Polls++
 	handled := 0
@@ -42,6 +46,9 @@ func (p *Proc) pollOnce(th *Thread) {
 		th.S.Sleep(cost.ProgressHandleWork)
 		p.handlePacket(th, pkt)
 		handled++
+	}
+	if p.w.tel != nil {
+		p.w.tel.Poll(th.S.ID(), pollFrom, th.S.Now(), handled)
 	}
 	if handled > 0 {
 		th.pollBackoff = 0
@@ -54,6 +61,9 @@ func (p *Proc) pollOnce(th *Thread) {
 func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 	cost := th.cost()
 	now := th.S.Now()
+	// This hold advanced the progress engine — the useful/wasted split of
+	// the telemetry plane's Fig. 6a report.
+	th.holdUseful = true
 	switch pkt.Kind {
 	case fabric.TxDone:
 		// NIC finished injecting a payload: the owning send request is
@@ -172,6 +182,9 @@ func (p *Proc) matchUnexpected(th *Thread, src, tag, ctx int) *envelope {
 			p.unexp = append(p.unexp[:i], p.unexp[i+1:]...)
 			th.S.Sleep(cost.QueueSearchPerItem * int64(i+1))
 			p.UnexpectedHits++
+			if p.w.tel != nil {
+				p.w.tel.Unexpected(th.S.Now() - e.arrivedAt)
+			}
 			return e
 		}
 	}

@@ -102,6 +102,9 @@ func (r *Request) markComplete(at sim.Time) {
 	r.p.w.danglingNow++
 	r.p.danglingNow++
 	r.p.w.completedTotal++
+	if w := r.p.w; w.tel != nil {
+		w.tel.Dangling(at, int64(w.danglingNow))
+	}
 	if r.p.w.Cfg.SelectiveWakeup {
 		// Event-driven progress (§9): completions wake parked waiters.
 		r.p.activity.WakeAll(at)
@@ -146,6 +149,9 @@ func (r *Request) free() {
 	r.p.w.danglingNow--
 	r.p.danglingNow--
 	r.p.outstanding--
+	if w := r.p.w; w.tel != nil {
+		w.tel.Dangling(w.Eng.Now(), int64(w.danglingNow))
+	}
 	if r.win != nil {
 		r.win.pending--
 	}

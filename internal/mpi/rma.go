@@ -42,6 +42,7 @@ func (win *Win) Buffer(rank int) []float64 { return win.buffers[rank] }
 func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 	offset int64, count int64, payload []float64) *Request {
 	p := th.P
+	tel := th.telStart()
 	th.mainBegin()
 	r := &Request{p: p, kind: RMAReq, dst: target, src: p.Rank,
 		bytes: count * win.elemSize, win: win}
@@ -60,6 +61,7 @@ func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 		Payload: data,
 	}, false, r)
 	th.mainEnd()
+	th.telCall(kind.String(), tel)
 	return r
 }
 

@@ -22,6 +22,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 )
 
 // Wildcards for receive matching.
@@ -85,6 +86,13 @@ type Config struct {
 	// "giveup", "preempt") at their virtual time on the given rank —
 	// used to pin marks onto lock-ownership timelines.
 	OnFaultEvent func(event string, at int64, rank int)
+	// Tel, when non-nil, attaches the telemetry plane: MPI-call spans,
+	// lock wait/hold spans per priority class, progress-poll spans,
+	// request-lifecycle gauges, and fabric flight spans all record
+	// against the sim clock. Telemetry is purely observational — it never
+	// schedules events or advances time — so enabling it cannot change
+	// simulation results.
+	Tel *telemetry.Recorder
 }
 
 // World is a running simulated cluster with an MPI runtime on each process.
@@ -93,6 +101,8 @@ type World struct {
 	Eng   *sim.Engine
 	Fab   *fabric.Fabric
 	Procs []*Proc
+
+	tel *telemetry.Recorder // nil when telemetry is disabled
 
 	wins        []*Win
 	danglingNow int
@@ -137,6 +147,12 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{
 		Cfg: cfg,
 		Eng: sim.NewEngine(cfg.Seed),
+		tel: cfg.Tel,
+	}
+	if w.tel != nil {
+		w.Eng.OnThreadState = func(t *sim.Thread, s sim.ThreadState) {
+			w.tel.ThreadState(t.ID(), w.Eng.Now(), s.String())
+		}
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 500_000_000
@@ -146,6 +162,7 @@ func NewWorld(cfg Config) (*World, error) {
 		w.Eng.MaxWall = time.Duration(cfg.MaxWall)
 	}
 	w.Fab = fabric.New(w.Eng, cfg.Cost)
+	w.Fab.Tel = cfg.Tel
 	w.plane = fault.New(cfg.Fault, cfg.Seed)
 	w.Fab.InjectFaults(w.plane)
 	n := cfg.Topo.Nodes * cfg.ProcsPerNode
@@ -164,10 +181,13 @@ func NewWorld(cfg Config) (*World, error) {
 			lcfg.OnGrant = cfg.OnGrant(rank)
 		}
 		p.cs = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines}
+		p.cs.instrument(w.tel, fmt.Sprintf("cs[r%d]", rank))
 		if cfg.Granularity == GranFine {
 			sub := &simlock.Config{Eng: w.Eng, Cost: cfg.Cost}
 			p.queueCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
+			p.queueCS.instrument(w.tel, fmt.Sprintf("queue[r%d]", rank))
 			p.nicCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
+			p.nicCS.instrument(w.tel, fmt.Sprintf("nic[r%d]", rank))
 		}
 		p.ep = w.Fab.Attach(rank, node, p.onPacket)
 		if w.plane != nil {
@@ -318,6 +338,11 @@ type Thread struct {
 	P *Proc
 
 	lctx simlock.Ctx
+	// holdUseful marks the current critical-section hold as having
+	// advanced the progress engine (handled a completion event) — the
+	// telemetry plane's Fig. 6a useful/wasted split. Set by handlePacket,
+	// consumed by csLock.exit.
+	holdUseful bool
 	// pollBackoff tracks consecutive empty polls for adaptive spinning.
 	pollBackoff int
 	// noBackoff pins the progress loop at full spinning speed (async
@@ -354,6 +379,7 @@ func (w *World) spawn(rank int, name string, fn func(th *Thread)) *Thread {
 	})
 	th = &Thread{S: st, P: p, lctx: simlock.Ctx{T: st, Place: place}}
 	st.Data = th
+	w.tel.RegisterThread(st.ID(), st.Name())
 	return th
 }
 
@@ -390,3 +416,20 @@ func (th *Thread) enter(cl simlock.Class) { th.P.cs.enter(th, cl) }
 func (th *Thread) exit(cl simlock.Class) { th.P.cs.exit(th, cl) }
 
 func (th *Thread) cost() machine.CostModel { return th.P.w.Cfg.Cost }
+
+// telStart opens an MPI-call telemetry span, returning its start time, or
+// -1 when telemetry is disabled (the only cost on the fast path).
+func (th *Thread) telStart() int64 {
+	if th.P.w.tel == nil {
+		return -1
+	}
+	return th.S.Now()
+}
+
+// telCall closes a call span opened by telStart.
+func (th *Thread) telCall(name string, from int64) {
+	if from < 0 {
+		return
+	}
+	th.P.w.tel.Call(th.S.ID(), name, from, th.S.Now())
+}

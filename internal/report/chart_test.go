@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartEmptyTable(t *testing.T) {
+	tab := &Table{ID: "t", Title: "empty", XLabel: "x", YLabel: "y"}
+	if got := tab.Chart(); got != "(empty)\n" {
+		t.Fatalf("empty chart = %q, want %q", got, "(empty)\n")
+	}
+	// A series with no points is still empty.
+	tab.AddSeries("a")
+	if got := tab.Chart(); got != "(empty)\n" {
+		t.Fatalf("pointless chart = %q, want %q", got, "(empty)\n")
+	}
+}
+
+func TestChartAxisScaling(t *testing.T) {
+	tab := &Table{ID: "figX", Title: "scale", XLabel: "bytes", YLabel: "rate"}
+	s := tab.AddSeries("a")
+	s.Add(1, 0)
+	s.Add(2, 500)
+	s.Add(4, 1000)
+	out := tab.Chart()
+	lines := strings.Split(out, "\n")
+
+	// Header, then chartHeight plot rows labelled ymax / ymax/2 / 0.
+	if !strings.HasPrefix(lines[0], "figX — scale") {
+		t.Fatalf("missing title line: %q", lines[0])
+	}
+	plot := lines[1 : 1+chartHeight]
+	if !strings.Contains(plot[0], "1000") {
+		t.Errorf("top row should carry ymax label 1000: %q", plot[0])
+	}
+	if !strings.Contains(plot[chartHeight/2], "500") {
+		t.Errorf("middle row should carry ymax/2 label 500: %q", plot[chartHeight/2])
+	}
+	if !strings.Contains(plot[chartHeight-1], "0") {
+		t.Errorf("bottom row should carry 0 label: %q", plot[chartHeight-1])
+	}
+	// The maximum lands in the top row's plotting area, the minimum in
+	// the bottom row's.
+	if !strings.Contains(plot[0], "*") {
+		t.Errorf("ymax point should plot in top row: %q", plot[0])
+	}
+	if !strings.Contains(plot[chartHeight-1], "*") {
+		t.Errorf("y=0 point should plot in bottom row: %q", plot[chartHeight-1])
+	}
+	if !strings.Contains(out, "x: bytes from 1 to 4 (3 points, ordinal spacing)") {
+		t.Errorf("missing x-axis summary: %q", out)
+	}
+}
+
+func TestChartSinglePointColumnZero(t *testing.T) {
+	tab := &Table{ID: "one", XLabel: "x"}
+	tab.AddSeries("solo").Add(7, 42)
+	out := tab.Chart()
+	if !strings.Contains(out, "x: x from 7 to 7 (1 points, ordinal spacing)") {
+		t.Fatalf("single-point axis summary wrong:\n%s", out)
+	}
+	// The sole point maps to column 0 of the top row.
+	lines := strings.Split(out, "\n")
+	top := lines[0] // no title → first line is the top plot row
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "|*") {
+		t.Errorf("single point should sit at column 0 of top row: %q", top)
+	}
+}
+
+func TestChartMultiSeriesGlyphsAndLegend(t *testing.T) {
+	tab := &Table{ID: "m", XLabel: "x"}
+	tab.AddSeries("first").Add(1, 10)
+	tab.AddSeries("second").Add(2, 5)
+	tab.AddSeries("third").Add(3, 1)
+	out := tab.Chart()
+	for _, want := range []string{" * = first", " o = second", " + = third"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q:\n%s", want, out)
+		}
+	}
+	for _, g := range []string{"*", "o", "+"} {
+		if strings.Count(out, g) < 2 { // plotted glyph + legend entry
+			t.Errorf("glyph %q should appear in plot and legend", g)
+		}
+	}
+}
+
+func TestChartDeterministic(t *testing.T) {
+	tab := &Table{ID: "d", Title: "det", XLabel: "x", YLabel: "y"}
+	a := tab.AddSeries("a")
+	b := tab.AddSeries("b")
+	for i := 0; i < 8; i++ {
+		a.Add(float64(i), float64(i*i))
+		b.Add(float64(i), float64(64-i*i))
+	}
+	if tab.Chart() != tab.Chart() {
+		t.Fatal("Chart not deterministic for identical input")
+	}
+}

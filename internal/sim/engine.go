@@ -51,6 +51,11 @@ type Engine struct {
 	// The check runs every wallCheckEvery events, so very cheap events
 	// may overshoot the budget slightly.
 	MaxWall time.Duration
+
+	// OnThreadState, when set, observes every simthread scheduling-state
+	// transition (the telemetry plane's sched track). Purely
+	// observational: it must not touch engine state.
+	OnThreadState func(t *Thread, s ThreadState)
 }
 
 // wallCheckEvery is how many events pass between wall-clock watchdog
@@ -142,7 +147,7 @@ func (e *Engine) dispatch(t *Thread) {
 	if t.state == stateDone {
 		return
 	}
-	t.state = stateRunning
+	t.setState(stateRunning)
 	e.running = t
 	t.resume <- struct{}{}
 	<-e.baton

@@ -2,10 +2,12 @@ package sim
 
 import "fmt"
 
-type threadState int
+// ThreadState is a simthread's scheduling state, exposed to observers via
+// Engine.OnThreadState.
+type ThreadState int
 
 const (
-	stateNew threadState = iota
+	stateNew ThreadState = iota
 	stateRunning
 	stateSleeping
 	stateParked
@@ -13,7 +15,7 @@ const (
 )
 
 // String names the state for thread dumps.
-func (s threadState) String() string {
+func (s ThreadState) String() string {
 	switch s {
 	case stateNew:
 		return "new"
@@ -42,7 +44,7 @@ type Thread struct {
 	id     int
 	name   string
 	resume chan struct{}
-	state  threadState
+	state  ThreadState
 
 	// Data carries user context (e.g. the machine placement of the
 	// thread). The simulator itself never inspects it.
@@ -59,6 +61,21 @@ type Thread struct {
 // ID returns the thread's unique index within its engine.
 func (t *Thread) ID() int { return t.id }
 
+// State returns the thread's current scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// setState records a state transition and notifies the engine's observer.
+// Same-state transitions are dropped so observers see only real changes.
+func (t *Thread) setState(s ThreadState) {
+	if t.state == s {
+		return
+	}
+	t.state = s
+	if fn := t.eng.OnThreadState; fn != nil {
+		fn(t, s)
+	}
+}
+
 // Name returns the label given at Spawn time.
 func (t *Thread) Name() string { return t.name }
 
@@ -73,7 +90,7 @@ func (t *Thread) run(fn func(*Thread)) {
 	<-t.resume // wait for first dispatch
 	select {
 	case <-t.eng.kill:
-		t.state = stateDone
+		t.setState(stateDone)
 		t.eng.baton <- struct{}{}
 		return
 	default:
@@ -81,7 +98,7 @@ func (t *Thread) run(fn func(*Thread)) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killed); ok {
-				t.state = stateDone
+				t.setState(stateDone)
 				t.eng.baton <- struct{}{}
 				return
 			}
@@ -89,7 +106,7 @@ func (t *Thread) run(fn func(*Thread)) {
 		}
 	}()
 	fn(t)
-	t.state = stateDone
+	t.setState(stateDone)
 	t.eng.baton <- struct{}{}
 }
 
@@ -102,7 +119,7 @@ func (t *Thread) yield() {
 		panic(killed{})
 	default:
 	}
-	t.state = stateRunning
+	t.setState(stateRunning)
 }
 
 // Sleep advances this thread's local time by d nanoseconds, letting other
@@ -114,7 +131,7 @@ func (t *Thread) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	t.state = stateSleeping
+	t.setState(stateSleeping)
 	t.eng.At(t.eng.now+d, func() { t.eng.dispatch(t) })
 	t.yield()
 }
@@ -125,7 +142,7 @@ func (t *Thread) Park() {
 	if t.eng.running != t {
 		panic(fmt.Sprintf("sim: Park called on %q from outside its own context", t.name))
 	}
-	t.state = stateParked
+	t.setState(stateParked)
 	t.yield()
 }
 
@@ -156,7 +173,7 @@ func (t *Thread) UnparkCancel() {
 	if t.wake != nil {
 		t.wake.Cancel()
 		t.wake = nil
-		t.state = stateParked
+		t.setState(stateParked)
 	}
 }
 

@@ -1,0 +1,129 @@
+package telemetry
+
+import "math/bits"
+
+// histBuckets is the bucket count of the log-2 histograms: bucket i holds
+// durations whose bit length is i, i.e. [2^(i-1), 2^i); bucket 0 holds
+// exact zeros. 64 buckets cover every int64 duration.
+const histBuckets = 64
+
+// Hist is a log-2-bucketed histogram of simulated durations (ns). The
+// zero value is an empty histogram.
+type Hist struct {
+	count   int64
+	sum     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d int64) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// bucketUpper is the inclusive upper bound of bucket i in nanoseconds.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Add records one duration. Negative durations clamp to zero.
+func (h *Hist) Add(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Sum returns the summed duration.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Max returns the largest sample.
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the average sample (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper edge of the first bucket at which the cumulative count reaches
+// q*Count. Resolution is a factor of two, which is what log-bucketing
+// buys; exact enough to rank wait-time distributions across locks.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= target {
+			if u := bucketUpper(i); u < h.max {
+				return u
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// BucketCount is one non-empty bucket of an exported histogram.
+type BucketCount struct {
+	// LeNs is the bucket's inclusive upper bound in ns.
+	LeNs int64 `json:"le_ns"`
+	// Count is the number of samples in the bucket.
+	Count int64 `json:"count"`
+}
+
+// HistStats is the flat JSON form of a histogram.
+type HistStats struct {
+	Count   int64         `json:"count"`
+	MeanNs  float64       `json:"mean_ns"`
+	P50Ns   int64         `json:"p50_ns"`
+	P90Ns   int64         `json:"p90_ns"`
+	P99Ns   int64         `json:"p99_ns"`
+	MaxNs   int64         `json:"max_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Stats summarizes the histogram for export. Buckets are emitted sparsely
+// in ascending bound order (a fixed array scan — no map order leaks).
+func (h *Hist) Stats() HistStats {
+	s := HistStats{
+		Count:  h.count,
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.max,
+	}
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i] > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LeNs: bucketUpper(i), Count: h.buckets[i]})
+		}
+	}
+	return s
+}

@@ -7,6 +7,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 )
 
 // LatencyParams configures the multithreaded ping-pong latency benchmark
@@ -24,6 +25,8 @@ type LatencyParams struct {
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
 	MaxWall int64
+	// Tel attaches the telemetry plane (nil = disabled, zero overhead).
+	Tel *telemetry.Recorder
 }
 
 func (p LatencyParams) withDefaults() LatencyParams {
@@ -62,6 +65,7 @@ func Latency(p LatencyParams) (LatencyResult, error) {
 		Seed:    p.Seed,
 		Fault:   p.Fault,
 		MaxWall: p.MaxWall,
+		Tel:     p.Tel,
 	})
 	if err != nil {
 		return res, err

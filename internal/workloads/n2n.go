@@ -7,6 +7,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 )
 
 // N2NMode selects how each thread structures its message stream.
@@ -66,6 +67,8 @@ type N2NParams struct {
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
 	MaxWall int64
+	// Tel attaches the telemetry plane (nil = disabled, zero overhead).
+	Tel *telemetry.Recorder
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -122,6 +125,7 @@ func N2N(p N2NParams) (N2NResult, error) {
 		OnGrant: p.onGrant,
 		Fault:   p.Fault,
 		MaxWall: p.MaxWall,
+		Tel:     p.Tel,
 	})
 	if err != nil {
 		return res, err

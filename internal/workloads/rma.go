@@ -8,6 +8,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 )
 
 // RMAOp selects the one-sided operation benchmarked.
@@ -58,6 +59,8 @@ type RMAParams struct {
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
 	MaxWall int64
+	// Tel attaches the telemetry plane (nil = disabled, zero overhead).
+	Tel *telemetry.Recorder
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -117,6 +120,7 @@ func RMA(p RMAParams) (RMAResult, error) {
 		SelectiveWakeup: p.SelectiveWakeup,
 		Fault:           p.Fault,
 		MaxWall:         p.MaxWall,
+		Tel:             p.Tel,
 	})
 	if err != nil {
 		return res, err

@@ -12,6 +12,7 @@ import (
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
+	"mpicontend/internal/telemetry"
 	"mpicontend/internal/trace"
 )
 
@@ -50,6 +51,8 @@ type ThroughputParams struct {
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
 	MaxWall int64
+	// Tel attaches the telemetry plane (nil = disabled, zero overhead).
+	Tel *telemetry.Recorder
 
 	// onGrant is an extra per-rank grant observer for white-box tests.
 	onGrant func(rank int) simlock.GrantFunc
@@ -129,6 +132,7 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 		Seed:            p.Seed,
 		Fault:           p.Fault,
 		MaxWall:         p.MaxWall,
+		Tel:             p.Tel,
 	}
 	if p.TraceRank >= 0 || p.onGrant != nil {
 		cfg.OnGrant = func(rank int) simlock.GrantFunc {

@@ -26,6 +26,7 @@ import (
 	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/stencil"
+	"mpicontend/internal/telemetry"
 	"mpicontend/internal/workloads"
 )
 
@@ -236,6 +237,10 @@ type ThroughputConfig struct {
 	Trace bool
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
+	// Telemetry attaches the deterministic observability plane (nil =
+	// disabled, zero recording overhead). Purely observational: enabling
+	// it never changes simulated results.
+	Telemetry *Telemetry
 }
 
 // ThroughputResult reports the throughput benchmark.
@@ -267,7 +272,7 @@ func Throughput(c ThroughputConfig) (ThroughputResult, error) {
 		Threads: c.Threads, MsgBytes: c.MsgBytes,
 		Window: c.Window, Windows: c.Windows,
 		ProcsPerNode: c.ProcsPerNode, Seed: c.Seed, TraceRank: tr,
-		Fault: c.Fault.config(),
+		Fault: c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
 		return ThroughputResult{}, err
@@ -290,6 +295,9 @@ type LatencyConfig struct {
 	Seed     uint64
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
+	// Telemetry attaches the deterministic observability plane (nil =
+	// disabled).
+	Telemetry *Telemetry
 }
 
 // LatencyResult reports the latency benchmark.
@@ -305,7 +313,7 @@ func Latency(c LatencyConfig) (LatencyResult, error) {
 	r, err := workloads.Latency(workloads.LatencyParams{
 		Lock: c.Lock.kind(), Binding: c.Binding.binding(),
 		Threads: c.Threads, MsgBytes: c.MsgBytes, Iters: c.Iters, Seed: c.Seed,
-		Fault: c.Fault.config(),
+		Fault: c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
 		return LatencyResult{}, err
@@ -324,6 +332,9 @@ type N2NConfig struct {
 	Seed     uint64
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
+	// Telemetry attaches the deterministic observability plane (nil =
+	// disabled).
+	Telemetry *Telemetry
 }
 
 // N2NResult reports the N2N benchmark.
@@ -340,7 +351,7 @@ func N2N(c N2NConfig) (N2NResult, error) {
 	r, err := workloads.N2N(workloads.N2NParams{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
-		Fault: c.Fault.config(),
+		Fault: c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
 		return N2NResult{}, err
@@ -372,6 +383,9 @@ type RMAConfig struct {
 	SelectiveWakeup bool
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
+	// Telemetry attaches the deterministic observability plane (nil =
+	// disabled).
+	Telemetry *Telemetry
 }
 
 // RMAResult reports the RMA benchmark.
@@ -395,6 +409,7 @@ func RMA(c RMAConfig) (RMAResult, error) {
 		Lock: c.Lock.kind(), Op: op, Procs: c.Procs,
 		ElemBytes: c.ElemBytes, Ops: c.Ops, Window: 1, Seed: c.Seed,
 		SelectiveWakeup: c.SelectiveWakeup, Fault: c.Fault.config(),
+		Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
 		return RMAResult{}, err
@@ -522,6 +537,9 @@ type Figure struct {
 	Text  string
 	// Chart is an ASCII rendering of the same series.
 	Chart string
+	// Data is the machine-readable form of the figure (nil for text-only
+	// tables like table1). Data.Marshal() emits the flat JSON schema.
+	Data *FigureData
 }
 
 // Experiments lists the runnable experiment ids (tables/figures of the
@@ -531,6 +549,12 @@ func Experiments() []string { return experiments.IDs() }
 // RunExperiment regenerates the given table/figure. quick shrinks the
 // sweep for fast runs.
 func RunExperiment(id string, quick bool) ([]Figure, error) {
+	return RunExperimentSeeded(id, quick, 0)
+}
+
+// RunExperimentSeeded is RunExperiment with an explicit base RNG seed
+// (0 = the default seed).
+func RunExperimentSeeded(id string, quick bool, seed uint64) ([]Figure, error) {
 	e, err := experiments.Get(id)
 	if err != nil {
 		return nil, err
@@ -538,13 +562,17 @@ func RunExperiment(id string, quick bool) ([]Figure, error) {
 	if id == "table1" {
 		return []Figure{{ID: "table1", Title: e.Title, Text: experiments.Table1Text()}}, nil
 	}
-	tables, err := e.Run(experiments.Options{Quick: quick})
+	tables, err := e.Run(experiments.Options{Quick: quick, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	figs := make([]Figure, 0, len(tables))
 	for _, t := range tables {
-		figs = append(figs, Figure{ID: t.ID, Title: t.Title, Text: t.Format(), Chart: t.Chart()})
+		// Text renders through the FigureJSON roundtrip so the ASCII
+		// table and the exported JSON are provably views of one dataset.
+		data := telemetry.FigureFromTable(t)
+		figs = append(figs, Figure{ID: t.ID, Title: t.Title,
+			Text: data.ASCII(), Chart: t.Chart(), Data: data})
 	}
 	return figs, nil
 }
