@@ -6,10 +6,11 @@
 #   make soak    quick chaos-experiment soak run
 #   make figures regenerate the full figure output
 #   make trace   record + validate a Perfetto trace of the fig8a probe
+#   make parity  prove -jobs 1 and -jobs 4 stdout are byte-identical
 
 GO ?= go
 
-.PHONY: check build vet simcheck test race shuffle soak figures trace
+.PHONY: check build vet simcheck test race shuffle soak figures trace parity
 
 check: build vet simcheck test
 
@@ -40,3 +41,13 @@ figures:
 
 trace:
 	$(GO) run ./cmd/mpitrace -experiment fig8a -quick -check -out artifacts/trace
+
+# Serial-equivalence gate: the full quick sweep at -jobs 1 (strictly
+# serial path) and -jobs 4 (work-stealing pool) must print identical
+# bytes. cmp exits non-zero on the first differing byte.
+parity:
+	$(GO) build -o /tmp/mpistorm-parity ./cmd/mpistorm
+	/tmp/mpistorm-parity -experiment all -quick -jobs 1 > /tmp/parity-jobs1.txt
+	/tmp/mpistorm-parity -experiment all -quick -jobs 4 > /tmp/parity-jobs4.txt
+	cmp /tmp/parity-jobs1.txt /tmp/parity-jobs4.txt
+	@echo "parity OK: -jobs 1 and -jobs 4 output is byte-identical"

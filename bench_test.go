@@ -260,3 +260,27 @@ func benchTelemetry(b *testing.B, enabled bool) {
 
 func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, false) }
 func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetry(b, true) }
+
+// --- Parallel sweep speedup ---
+
+// benchSweepJobs regenerates a fixed bundle of experiments through the
+// parallel sweep at the given worker count; comparing Serial against
+// Jobs4/Jobs8 on a multicore machine measures the orchestrator's
+// wall-clock speedup (on 4+ cores, Jobs4 should run at least ~2x faster
+// than Serial). Output equality across worker counts is asserted by
+// TestSweepMatchesSerial and `make parity`; these benchmarks measure only
+// time.
+func benchSweepJobs(b *testing.B, jobs int) {
+	ids := []string{"fig2a", "fig5b", "fig8a", "suite-patterns", "ablation-queuelocks"}
+	for i := 0; i < b.N; i++ {
+		if _, err := mpisim.Sweep(mpisim.SweepConfig{
+			IDs: ids, Quick: true, Jobs: jobs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) { benchSweepJobs(b, 1) }
+func BenchmarkSweepJobs4(b *testing.B)  { benchSweepJobs(b, 4) }
+func BenchmarkSweepJobs8(b *testing.B)  { benchSweepJobs(b, 8) }

@@ -14,7 +14,6 @@ package main
 // the simulation.
 //
 //simcheck:allow-file nodeterm real-threads benchmark measures wall-clock windows
-//simcheck:allow-file nogoroutine real-threads benchmark contends actual goroutines
 
 import (
 	"flag"

@@ -6,10 +6,16 @@
 //
 //	mpistorm -list
 //	mpistorm -experiment fig8a
-//	mpistorm -experiment all -quick
+//	mpistorm -experiment all -quick -jobs 4
 //
 // Each experiment prints an aligned table whose rows/series mirror the
 // paper's plot; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// -jobs N fans the experiments' independent simulation points across N
+// workers. Everything written to stdout (and to -json files) is
+// byte-identical at every -jobs value, including -jobs 1's strictly
+// serial path — parallelism only changes wall-clock time. Timing goes to
+// stderr, which carries no determinism guarantee.
 package main
 
 //simcheck:allow-file nodeterm harness wall-clock timing of real runs; simulation state is seeded inside experiments
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"mpicontend/mpisim"
@@ -31,6 +38,8 @@ func main() {
 	chart := flag.Bool("chart", false, "render ASCII charts in addition to tables")
 	jsonDir := flag.String("json", "", "also write each figure as <dir>/<id>.json (flat results schema)")
 	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+	jobs := flag.Int("jobs", runtime.NumCPU(),
+		"parallel workers for the point sweep (1 = serial; output is byte-identical either way)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -54,31 +63,64 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		figs, err := mpisim.RunExperimentSeeded(id, *quick, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
-			os.Exit(1)
+
+	emit := func(f mpisim.Figure) error {
+		fmt.Printf("== %s — %s ==\n%s\n", f.ID, f.Title, f.Text)
+		if *chart && f.Chart != "" {
+			fmt.Println(f.Chart)
 		}
-		for _, f := range figs {
-			fmt.Printf("== %s — %s ==\n%s\n", f.ID, f.Title, f.Text)
-			if *chart && f.Chart != "" {
-				fmt.Println(f.Chart)
+		if *jsonDir != "" && f.Data != nil {
+			data, err := f.Data.Marshal()
+			if err != nil {
+				return fmt.Errorf("marshal %s: %w", f.ID, err)
 			}
-			if *jsonDir != "" && f.Data != nil {
-				data, err := f.Data.Marshal()
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "mpistorm: marshal %s: %v\n", f.ID, err)
-					os.Exit(1)
-				}
-				path := filepath.Join(*jsonDir, f.ID+".json")
-				if err := os.WriteFile(path, data, 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
-					os.Exit(1)
-				}
+			path := filepath.Join(*jsonDir, f.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
 			}
 		}
-		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		return nil
 	}
+
+	start := time.Now()
+	var err error
+	if *jobs <= 1 {
+		// Strictly serial: every point runs on this goroutine, in
+		// declaration order, exactly as the original single-threaded
+		// driver did.
+		for _, id := range ids {
+			expStart := time.Now()
+			var figs []mpisim.Figure
+			figs, err = mpisim.RunExperimentSeeded(id, *quick, *seed)
+			if err != nil {
+				break
+			}
+			for _, f := range figs {
+				if err = emit(f); err != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", id, time.Since(expStart).Seconds())
+		}
+	} else {
+		err = mpisim.SweepFunc(
+			mpisim.SweepConfig{IDs: ids, Quick: *quick, Seed: *seed, Jobs: *jobs},
+			func(r mpisim.SweepResult) error {
+				for _, f := range r.Figures {
+					if err := emit(f); err != nil {
+						return err
+					}
+				}
+				fmt.Fprintf(os.Stderr, "(%s done at %.1fs)\n", r.ID, time.Since(start).Seconds())
+				return nil
+			})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "(total %.1fs, jobs=%d)\n", time.Since(start).Seconds(), *jobs)
 }

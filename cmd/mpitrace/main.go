@@ -8,6 +8,12 @@
 // and critical-path analysis), and prints the profile as text. Traces key
 // entirely off the simulated clock: the same -experiment/-quick/-seed
 // triple always produces byte-identical files.
+//
+// -experiment also accepts a comma-separated id list or 'all'. With more
+// than one experiment each trace lands in <out>/<id>/, only the summary
+// lines print (no profile text), and -jobs N traces experiments across N
+// workers — stdout and the written files are byte-identical at every
+// -jobs value.
 package main
 
 import (
@@ -15,17 +21,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 
 	"mpicontend/internal/telemetry"
 	"mpicontend/mpisim"
 )
 
+// traced is one experiment's captured telemetry, produced on a worker and
+// rendered serially in id order.
+type traced struct {
+	tel  *mpisim.Telemetry
+	desc string
+}
+
 func main() {
-	exp := flag.String("experiment", "", "experiment id whose representative point to trace (see mpistorm -list)")
+	exp := flag.String("experiment", "", "experiment id to trace, a comma-separated list, or 'all' (see mpistorm -list)")
 	quick := flag.Bool("quick", false, "trace the reduced workload")
 	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
-	out := flag.String("out", ".", "directory to write trace.json and profile.json into")
+	out := flag.String("out", ".", "directory to write trace.json and profile.json into (per-experiment subdirectories when tracing several)")
 	check := flag.Bool("check", false, "validate the emitted trace and profile against their schemas")
+	jobs := flag.Int("jobs", runtime.NumCPU(),
+		"parallel workers when tracing several experiments (1 = serial; output is byte-identical either way)")
 	flag.Parse()
 
 	if *exp == "" {
@@ -33,46 +50,75 @@ func main() {
 		os.Exit(2)
 	}
 
-	tel, desc, err := mpisim.TraceExperiment(*exp, *quick, *seed)
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = mpisim.Experiments()
+	}
+
+	// Tracing an experiment is an isolated simulation, so several trace
+	// like any other point sweep: fan across workers, render in id order.
+	results := make([]traced, len(ids))
+	err := mpisim.RunPoints(*jobs, len(ids), func(i int) error {
+		tel, desc, err := mpisim.TraceExperiment(ids[i], *quick, *seed)
+		if err != nil {
+			return err
+		}
+		results[i] = traced{tel: tel, desc: desc}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
 		os.Exit(1)
 	}
 
-	trace := tel.PerfettoJSON()
-	profile, err := tel.ProfileJSON()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpitrace: marshal profile: %v\n", err)
-		os.Exit(1)
-	}
-	if *check {
-		if err := telemetry.ValidateTrace(trace); err != nil {
-			fmt.Fprintf(os.Stderr, "mpitrace: trace validation: %v\n", err)
+	multi := len(ids) > 1
+	for i, id := range ids {
+		dir := *out
+		if multi {
+			dir = filepath.Join(*out, id)
+		}
+		if err := render(id, results[i], dir, *check, multi); err != nil {
+			fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// render validates, writes, and reports one experiment's trace. In multi
+// mode only the summary lines print; a single experiment also prints the
+// full profile text, exactly as earlier single-experiment releases did.
+func render(id string, r traced, dir string, check, multi bool) error {
+	trace := r.tel.PerfettoJSON()
+	profile, err := r.tel.ProfileJSON()
+	if err != nil {
+		return fmt.Errorf("marshal profile: %w", err)
+	}
+	if check {
+		if err := telemetry.ValidateTrace(trace); err != nil {
+			return fmt.Errorf("trace validation: %w", err)
 		}
 		if err := telemetry.ValidateProfile(profile); err != nil {
-			fmt.Fprintf(os.Stderr, "mpitrace: profile validation: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("profile validation: %w", err)
 		}
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
-		os.Exit(1)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	tracePath := filepath.Join(*out, "trace.json")
-	profilePath := filepath.Join(*out, "profile.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	profilePath := filepath.Join(dir, "profile.json")
 	if err := os.WriteFile(tracePath, trace, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if err := os.WriteFile(profilePath, profile, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("traced %s (%s): %d spans\n", *exp, desc, tel.Spans())
+	fmt.Printf("traced %s (%s): %d spans\n", id, r.desc, r.tel.Spans())
 	fmt.Printf("wrote %s (%d bytes) and %s (%d bytes)\n\n",
 		tracePath, len(trace), profilePath, len(profile))
-	fmt.Print(tel.ProfileText())
+	if !multi {
+		fmt.Print(r.tel.ProfileText())
+	}
+	return nil
 }

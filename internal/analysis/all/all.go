@@ -8,6 +8,7 @@ import (
 	"mpicontend/internal/analysis/maporder"
 	"mpicontend/internal/analysis/nodeterm"
 	"mpicontend/internal/analysis/nogoroutine"
+	"mpicontend/internal/analysis/pkgdoc"
 )
 
 // Analyzers returns the full simcheck suite in reporting order.
@@ -17,5 +18,6 @@ func Analyzers() []*analysis.Analyzer {
 		maporder.Analyzer,
 		nodeterm.Analyzer,
 		nogoroutine.Analyzer,
+		pkgdoc.Analyzer,
 	}
 }

@@ -1,9 +1,9 @@
 // Package analysis is a small, dependency-free analogue of
 // golang.org/x/tools/go/analysis, built on the standard library's go/ast
 // and go/types. It exists because this repository is stdlib-only: the
-// simcheck analyzers (nodeterm, lockpair, nogoroutine, maporder) plug into
-// this framework and are driven by cmd/simcheck and by the analysistest
-// test harness.
+// simcheck analyzers (nodeterm, lockpair, nogoroutine, maporder, pkgdoc)
+// plug into this framework and are driven by cmd/simcheck and by the
+// analysistest test harness.
 //
 // The API mirrors the upstream shape — an Analyzer holds a Run function
 // that receives a Pass with the parsed files and full type information for

@@ -1,13 +1,21 @@
-// Package nogoroutine forbids raw concurrency outside the two places it
-// belongs: the simulation engine (internal/sim, which multiplexes
-// simthreads over goroutines with a baton hand-off) and the real-threads
-// lock library (locks/, whose whole point is real contention). Everywhere
-// else a go statement, a channel, or a sync primitive bypasses the
-// engine's deterministic scheduler and destroys reproducibility.
+// Package nogoroutine forbids raw concurrency inside the deterministic
+// core, where it belongs only in the simulation engine (internal/sim,
+// which multiplexes simthreads over goroutines with a baton hand-off) and
+// the real-threads lock library (locks/, whose whole point is real
+// contention). Anywhere else in the core a go statement, a channel, or a
+// sync primitive bypasses the engine's deterministic scheduler and
+// destroys reproducibility.
+//
+// The driver shell is exempt by package allowlist: the sweep orchestrator
+// (internal/sweep) fans isolated experiment points across OS workers, and
+// cmd/* binaries host it — OS-level parallelism there never touches
+// simulated state, only wall-clock time. docs/ARCHITECTURE.md draws the
+// core/shell boundary this allowlist enforces.
 //
 // Flagged: go statements; imports of sync and sync/atomic; channel types,
-// sends, receives, and selects. Real-threads demo binaries (cmd/lockbench,
-// examples/reallocks) carry //simcheck:allow-file nogoroutine annotations.
+// sends, receives, and selects. The real-threads example
+// (examples/reallocks) carries a //simcheck:allow-file nogoroutine
+// annotation.
 package nogoroutine
 
 import (
@@ -21,12 +29,15 @@ import (
 // Analyzer is the nogoroutine rule.
 var Analyzer = &analysis.Analyzer{
 	Name: "nogoroutine",
-	Doc: "forbid raw go statements, channels, and sync primitives outside " +
-		"internal/sim (the engine owns scheduling) and locks/ (the " +
-		"real-threads library)",
+	Doc: "forbid raw go statements, channels, and sync primitives in the " +
+		"deterministic core: only internal/sim (the engine owns scheduling), " +
+		"locks/ (the real-threads library), and the driver shell " +
+		"(internal/sweep, cmd/*) may use them",
 	Applies: func(path string) bool {
 		return !analysis.PathHasSegment(path, "locks") &&
-			!strings.HasSuffix(path, "internal/sim")
+			!analysis.PathHasSegment(path, "cmd") &&
+			!strings.HasSuffix(path, "internal/sim") &&
+			!strings.HasSuffix(path, "internal/sweep")
 	},
 	Run: run,
 }

@@ -1,0 +1,54 @@
+// Package pkgdoc requires every package to carry a package-level doc
+// comment, so each package states its role and which side of the
+// core/shell boundary it lives on (see docs/ARCHITECTURE.md). Library
+// packages must open with the standard "Package <name>" form; command and
+// example mains are free-form (they conventionally open with "Command
+// <name>" or a headline). External test packages (package foo_test) are
+// exempt.
+package pkgdoc
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"mpicontend/internal/analysis"
+)
+
+// Analyzer is the pkgdoc rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc: "require a package-level doc comment on every package (library " +
+		"packages in the standard \"Package <name>\" form), so each states " +
+		"its role and core/shell side",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	name := pass.Pkg.Name()
+	if strings.HasSuffix(name, "_test") {
+		return nil
+	}
+	files := append([]*ast.File(nil), pass.Files...)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Pos()).Filename <
+			pass.Fset.Position(files[j].Pos()).Filename
+	})
+	for _, f := range files {
+		if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+			continue
+		}
+		if name != "main" && !strings.HasPrefix(f.Doc.Text(), "Package "+name) {
+			pass.Reportf(f.Name.Pos(),
+				"package doc comment should start %q so godoc lists it conventionally",
+				"Package "+name)
+		}
+		return nil
+	}
+	if len(files) > 0 {
+		pass.Reportf(files[0].Name.Pos(),
+			"package %s has no package-level doc comment; state its role and whether it is deterministic core or driver shell (docs/ARCHITECTURE.md)",
+			name)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/pkgdoc"
+)
+
+func TestGoldenMissing(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/a",
+		"mpicontend/internal/analysis/pkgdoc/testdata/src/a")
+}
+
+func TestGoldenWrongForm(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/b",
+		"mpicontend/internal/analysis/pkgdoc/testdata/src/b")
+}

@@ -1,0 +1,5 @@
+package a
+
+// Aux exists so the missing-doc diagnostic lands on the alphabetically
+// first file only.
+func Aux() int { return 2 }

@@ -1,0 +1,4 @@
+// A doc comment that does not follow the standard form.
+package b // want `package doc comment should start "Package b"`
+
+func B() int { return 1 }

@@ -5,6 +5,8 @@
 // those experiments (and NWChem-style Global Arrays usage) exercise:
 // collective memory allocation, blocking and nonblocking contiguous
 // put/get/accumulate, fences, and a barrier.
+//
+// armci is part of the deterministic core (docs/ARCHITECTURE.md).
 package armci
 
 import (

@@ -22,7 +22,7 @@ func init() {
 
 // ablationSpin sweeps the NPTL spin budget: longer user-space spinning
 // trades futex wake bubbles for CAS-storm traffic.
-func ablationSpin(o Options) ([]*report.Table, error) {
+func ablationSpin(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-spin", Title: "Mutex spin budget vs throughput (8 threads, 64B)",
 		XLabel: "spin budget ns", YLabel: "10^3 msgs/s"}
 	s := t.AddSeries("Mutex")
@@ -31,34 +31,28 @@ func ablationSpin(o Options) ([]*report.Table, error) {
 		cm.MutexSpinBudget = budget
 		p := baseTP(o, simlock.KindMutex, 8, 64)
 		p.Cost = cm
-		r, err := workloads.Throughput(p)
-		if err != nil {
-			return nil, err
-		}
-		s.Add(float64(budget), r.RateMsgsPerSec/1000)
+		s.Add(float64(budget), throughputRate(pl, p))
 	}
 	return []*report.Table{t}, nil
 }
 
 // ablationPrioMutex measures the paper's §7 claim that three mutexes
 // cannot build a working priority lock.
-func ablationPrioMutex(o Options) ([]*report.Table, error) {
+func ablationPrioMutex(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-priomutex", Title: "Priority lock construction comparison",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, k := range []simlock.Kind{simlock.KindPriority, simlock.KindPrioMutex, simlock.KindTicket} {
 		k := k
-		if err := throughputSeries(o, t, k.String(), func(b int64) workloads.ThroughputParams {
+		throughputSeries(o, pl, t, k.String(), func(b int64) workloads.ThroughputParams {
 			return baseTP(o, k, 8, b)
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	return []*report.Table{t}, nil
 }
 
 // ablationSocketPrio shows the §7 socket-aware variant: good throughput,
 // terrible fairness.
-func ablationSocketPrio(o Options) ([]*report.Table, error) {
+func ablationSocketPrio(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-socketprio",
 		Title:  "Socket-aware arbitration: throughput and starvation",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s (rate series) / requests (dangling series)"}
@@ -71,28 +65,29 @@ func ablationSocketPrio(o Options) ([]*report.Table, error) {
 			}
 			p := baseTP(o, k, 8, bytes)
 			p.TraceRank = 1
-			r, err := workloads.Throughput(p)
-			if err != nil {
-				return nil, err
-			}
-			rate.Add(float64(bytes), r.RateMsgsPerSec/1000)
-			dang.Add(float64(bytes), r.DanglingAvg)
+			v := pl.Values(2, func() ([]float64, error) {
+				r, err := workloads.Throughput(p)
+				if err != nil {
+					return nil, err
+				}
+				return []float64{r.RateMsgsPerSec / 1000, r.DanglingAvg}, nil
+			})
+			rate.Add(float64(bytes), v[0])
+			dang.Add(float64(bytes), v[1])
 		}
 	}
 	return []*report.Table{t}, nil
 }
 
 // ablationQueueLocks compares the FIFO lock family from the related work.
-func ablationQueueLocks(o Options) ([]*report.Table, error) {
+func ablationQueueLocks(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-queuelocks", Title: "Ticket vs MCS vs TAS",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindMCS, simlock.KindTAS} {
 		k := k
-		if err := throughputSeries(o, t, k.String(), func(b int64) workloads.ThroughputParams {
+		throughputSeries(o, pl, t, k.String(), func(b int64) workloads.ThroughputParams {
 			return baseTP(o, k, 8, b)
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	return []*report.Table{t}, nil
 }
@@ -100,7 +95,7 @@ func ablationQueueLocks(o Options) ([]*report.Table, error) {
 // ablationGranularity crosses the paper's two dimensions — critical-section
 // granularity (Fig. 1) and arbitration — the §7 "cost-effectiveness study"
 // the paper calls for.
-func ablationGranularity(o Options) ([]*report.Table, error) {
+func ablationGranularity(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-granularity",
 		Title:  "Granularity x arbitration (8 threads, 64B messages)",
 		XLabel: "granularity (0=Global 1=Brief 2=Fine 3=LockFree)",
@@ -111,11 +106,7 @@ func ablationGranularity(o Options) ([]*report.Table, error) {
 		for gi, g := range grans {
 			p := baseTP(o, k, 8, 64)
 			p.Granularity = g
-			r, err := workloads.Throughput(p)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(gi), r.RateMsgsPerSec/1000)
+			s.Add(float64(gi), throughputRate(pl, p))
 		}
 	}
 	return []*report.Table{t}, nil
@@ -124,7 +115,7 @@ func ablationGranularity(o Options) ([]*report.Table, error) {
 // ablationWakeup measures the paper's §9 future-work proposal — selective
 // thread wake-up on events instead of busy polling — on the workloads that
 // waste the most lock acquisitions.
-func ablationWakeup(o Options) ([]*report.Table, error) {
+func ablationWakeup(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-wakeup",
 		Title:  "Selective thread wake-up (§9 future work)",
 		XLabel: "mode (0=busy-poll 1=event-driven)", YLabel: "rate (10^3/s)"}
@@ -138,19 +129,19 @@ func ablationWakeup(o Options) ([]*report.Table, error) {
 		for mode, wake := range []bool{false, true} {
 			p := baseTP(o, k, 8, 64)
 			p.SelectiveWakeup = wake
-			r, err := workloads.Throughput(p)
-			if err != nil {
-				return nil, err
-			}
-			tp.Add(float64(mode), r.RateMsgsPerSec/1000)
-			rr, err := workloads.RMA(workloads.RMAParams{
+			tp.Add(float64(mode), throughputRate(pl, p))
+			rp := workloads.RMAParams{
 				Lock: k, Op: workloads.OpPut, ElemBytes: 64, Ops: ops,
 				Window: 1, Seed: o.seed(), SelectiveWakeup: wake,
-			})
-			if err != nil {
-				return nil, err
 			}
-			rm.Add(float64(mode), rr.RateElemPerSec/1000)
+			rmRate := pl.Value(func() (float64, error) {
+				rr, err := workloads.RMA(rp)
+				if err != nil {
+					return 0, err
+				}
+				return rr.RateElemPerSec / 1000, nil
+			})
+			rm.Add(float64(mode), rmRate)
 		}
 	}
 	return []*report.Table{t}, nil
@@ -158,7 +149,7 @@ func ablationWakeup(o Options) ([]*report.Table, error) {
 
 // suitePatterns runs the Thakur–Gropp-style multithreaded pattern battery
 // (§8, ref [27]) across the three main locks.
-func suitePatterns(o Options) ([]*report.Table, error) {
+func suitePatterns(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "suite-patterns",
 		Title:  "Multithreaded MPI pattern battery (after Thakur & Gropp)",
 		XLabel: "pattern (0=pairs 1=fanin 2=fanout 3=overlap)",
@@ -170,13 +161,17 @@ func suitePatterns(o Options) ([]*report.Table, error) {
 	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority} {
 		s := t.AddSeries(k.String())
 		for pi, pat := range workloads.Patterns() {
-			r, err := workloads.RunPattern(workloads.PatternParams{
+			p := workloads.PatternParams{
 				Lock: k, Pattern: pat, Threads: 8, Msgs: msgs, Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
-			s.Add(float64(pi), r.RateMsgsPerSec/1000)
+			rate := pl.Value(func() (float64, error) {
+				r, err := workloads.RunPattern(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.RateMsgsPerSec / 1000, nil
+			})
+			s.Add(float64(pi), rate)
 		}
 	}
 	return []*report.Table{t}, nil
@@ -185,7 +180,7 @@ func suitePatterns(o Options) ([]*report.Table, error) {
 // ablationFunneled contrasts the FUNNELED structure common stencils use
 // (one communicating thread, lock-free runtime) with THREAD_MULTIPLE under
 // mutex and ticket arbitration (§6.2.2's framing).
-func ablationFunneled(o Options) ([]*report.Table, error) {
+func ablationFunneled(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "ablation-funneled",
 		Title:  "Stencil: THREAD_FUNNELED vs THREAD_MULTIPLE",
 		XLabel: "grid edge", YLabel: "GFlops"}
@@ -207,15 +202,19 @@ func ablationFunneled(o Options) ([]*report.Table, error) {
 	} {
 		s := t.AddSeries(c.name)
 		for _, e := range edges {
-			r, err := stencil.Run(stencil.Params{
+			p := stencil.Params{
 				Lock: c.lock, Procs: 4, Threads: 8,
 				NX: e, NY: e, NZ: e, Iters: iters,
 				Funneled: c.funneled, Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
-			s.Add(float64(e), r.GFlops)
+			gflops := pl.Value(func() (float64, error) {
+				r, err := stencil.Run(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.GFlops, nil
+			})
+			s.Add(float64(e), gflops)
 		}
 	}
 	return []*report.Table{t}, nil

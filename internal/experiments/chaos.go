@@ -62,7 +62,9 @@ type chaosRun struct {
 // chaosCell runs the windowed throughput benchmark at 8 threads under the
 // scenario and checks the resilience invariants: the run completes, the
 // transport state drains clean (no lost or duplicated deliveries survive
-// CheckClean), and a rerun with the same seed is bit-identical.
+// CheckClean), and a rerun with the same seed is bit-identical. The
+// same-seed rerun happens inside the cell, so a cell stays one
+// self-contained sweep point.
 func chaosCell(o Options, sc chaosScenario, k simlock.Kind) (chaosRun, error) {
 	p := workloads.ThroughputParams{
 		Lock:      k,
@@ -155,7 +157,7 @@ func chaosKernels(o Options, sc chaosScenario) error {
 // retransmission pressure, and dangling-request counts. The x axis is the
 // scenario ordinal (1=drop1 2=dup 3=delay 4=brownout 5=nicstall 6=preempt
 // 7=storm).
-func chaos(o Options) ([]*report.Table, error) {
+func chaos(o Options, pl *Plan) ([]*report.Table, error) {
 	scenarios := chaosScenarios(o.seed())
 	if o.Quick {
 		scenarios = []chaosScenario{scenarios[0], scenarios[6]} // drop1 + storm
@@ -180,18 +182,19 @@ func chaos(o Options) ([]*report.Table, error) {
 		rs := retx.AddSeries(k.String())
 		ds := dang.AddSeries(k.String())
 		for i, sc := range scenarios {
-			cell, err := chaosCell(o, sc, k)
-			if err != nil {
-				return nil, err
-			}
+			cell := pl.Values(3, func() ([]float64, error) {
+				c, err := chaosCell(o, sc, k)
+				if err != nil {
+					return nil, err
+				}
+				return []float64{c.goodput, float64(c.retx), float64(c.dangling)}, nil
+			})
 			x := float64(i + 1)
-			gs.Add(x, cell.goodput)
-			rs.Add(x, float64(cell.retx))
-			ds.Add(x, float64(cell.dangling))
+			gs.Add(x, cell[0])
+			rs.Add(x, cell[1])
+			ds.Add(x, cell[2])
 		}
 	}
-	if err := chaosKernels(o, scenarios[0]); err != nil {
-		return nil, err
-	}
+	pl.Check(func() error { return chaosKernels(o, scenarios[0]) })
 	return []*report.Table{good, retx, dang}, nil
 }

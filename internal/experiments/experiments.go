@@ -1,8 +1,17 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation from the simulated substrate. Each experiment returns one or
-// more report tables whose rows/series mirror the original plot. The cmd
-// tools and the repository-level benchmarks are thin wrappers around this
+// evaluation from the simulated substrate. Each experiment is written as
+// a builder that declares its independent simulation Points through a
+// Plan (the compute phase) and assembles report tables from their Results
+// (the render phase); Experiment.Run executes the two phases serially,
+// while RunAllFunc fans the points of many experiments across the
+// internal/sweep worker pool with byte-identical output. The cmd tools
+// and the repository-level benchmarks are thin wrappers around this
 // registry.
+//
+// experiments sits on the driver-shell side of the core/shell boundary
+// (docs/ARCHITECTURE.md): it orchestrates deterministic runs but contains
+// no goroutines itself — parallelism lives in internal/sweep, and every
+// Point builds its own isolated engine from the run's seed.
 package experiments
 
 import (
@@ -44,21 +53,23 @@ func (o Options) windows() int {
 	return 10
 }
 
-// Experiment is a runnable reproduction of one table or figure.
+// Experiment is a runnable reproduction of one table or figure. Its
+// builder declares simulation points and renders tables through a Plan;
+// see plan.go for the Points/Run/Render lifecycle.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) ([]*report.Table, error)
+	build func(Options, *Plan) ([]*report.Table, error)
 }
 
 // registry holds all experiments keyed by id.
 var registry = map[string]Experiment{}
 
-func register(id, title string, run func(Options) ([]*report.Table, error)) {
+func register(id, title string, build func(Options, *Plan) ([]*report.Table, error)) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	registry[id] = Experiment{ID: id, Title: title, build: build}
 }
 
 // Get returns the experiment with the given id.

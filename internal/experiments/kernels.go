@@ -28,26 +28,33 @@ func (o Options) bfsScale() int {
 	return 16
 }
 
-func fig10a(o Options) ([]*report.Table, error) {
+// bfsMTEPS declares one BFS point and yields its MTEPS.
+func bfsMTEPS(pl *Plan, p graph500.Params) float64 {
+	return pl.Value(func() (float64, error) {
+		r, err := graph500.Run(p)
+		if err != nil {
+			return 0, err
+		}
+		return r.MTEPS, nil
+	})
+}
+
+func fig10a(o Options, pl *Plan) ([]*report.Table, error) {
 	// Single process, no interprocess communication: the paper's single-
 	// node scalability of the BFS implementation itself.
 	t := &report.Table{ID: "fig10a", Title: "BFS single-node scalability",
 		XLabel: "threads", YLabel: "MTEPS"}
 	s := t.AddSeries("BFS")
 	for _, threads := range []int{1, 2, 4, 8} {
-		r, err := graph500.Run(graph500.Params{
+		s.Add(float64(threads), bfsMTEPS(pl, graph500.Params{
 			Lock: simlock.KindTicket, Threads: threads,
 			Scale: o.bfsScale(), Seed: o.seed(), Binding: machine.Compact,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.Add(float64(threads), r.MTEPS)
+		}))
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig10b(o Options) ([]*report.Table, error) {
+func fig10b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig10b", Title: "BFS thread scaling, compact binding",
 		XLabel: "threads per node", YLabel: "MTEPS"}
 	procs := 16
@@ -59,20 +66,16 @@ func fig10b(o Options) ([]*report.Table, error) {
 	for _, k := range kernelLocks {
 		s := t.AddSeries(k.String())
 		for _, threads := range []int{1, 2, 4, 8} {
-			r, err := graph500.Run(graph500.Params{
+			s.Add(float64(threads), bfsMTEPS(pl, graph500.Params{
 				Lock: k, Procs: procs, Threads: threads,
 				Scale: scale, Seed: o.seed(), Binding: machine.Compact,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(threads), r.MTEPS)
+			}))
 		}
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig10c(o Options) ([]*report.Table, error) {
+func fig10c(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig10c", Title: "BFS weak scaling, 8 threads per process",
 		XLabel: "cores", YLabel: "MTEPS"}
 	nodeCounts := []int{1, 2, 4, 8}
@@ -83,15 +86,11 @@ func fig10c(o Options) ([]*report.Table, error) {
 	for _, k := range kernelLocks {
 		s := t.AddSeries(k.String())
 		for i, nodes := range nodeCounts {
-			r, err := graph500.Run(graph500.Params{
+			s.Add(float64(nodes*8), bfsMTEPS(pl, graph500.Params{
 				Lock: k, Procs: nodes, Threads: 8,
 				Scale: base + i, // problem grows with the machine
 				Seed:  o.seed(), Binding: machine.Compact,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(nodes*8), r.MTEPS)
+			}))
 		}
 	}
 	return []*report.Table{t}, nil
@@ -106,7 +105,7 @@ func stencilCases(o Options) (procs, threads int, edges []int) {
 	return 8, 8, []int{16, 32, 64, 96, 128}
 }
 
-func fig11a(o Options) ([]*report.Table, error) {
+func fig11a(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig11a", Title: "3D stencil strong scaling",
 		XLabel: "bytes per core", YLabel: "GFlops"}
 	procs, threads, edges := stencilCases(o)
@@ -118,21 +117,25 @@ func fig11a(o Options) ([]*report.Table, error) {
 	for _, k := range kernelLocks {
 		s := t.AddSeries(k.String())
 		for _, e := range edges {
-			r, err := stencil.Run(stencil.Params{
+			p := stencil.Params{
 				Lock: k, Procs: procs, Threads: threads,
 				NX: e, NY: e, NZ: e, Iters: iters, Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
+			gflops := pl.Value(func() (float64, error) {
+				r, err := stencil.Run(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.GFlops, nil
+			})
 			perCore := float64(e) * float64(e) * float64(e) * 8 / float64(cores)
-			s.Add(perCore, r.GFlops)
+			s.Add(perCore, gflops)
 		}
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig11b(o Options) ([]*report.Table, error) {
+func fig11b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig11b", Title: "3D stencil execution breakdown (ticket)",
 		XLabel: "bytes per core", YLabel: "percent of time"}
 	procs, threads, edges := stencilCases(o)
@@ -145,22 +148,26 @@ func fig11b(o Options) ([]*report.Table, error) {
 	compS := t.AddSeries("Computation")
 	syncS := t.AddSeries("OMP_Sync")
 	for _, e := range edges {
-		r, err := stencil.Run(stencil.Params{
+		p := stencil.Params{
 			Lock: simlock.KindTicket, Procs: procs, Threads: threads,
 			NX: e, NY: e, NZ: e, Iters: iters, Seed: o.seed(),
-		})
-		if err != nil {
-			return nil, err
 		}
+		pct := pl.Values(3, func() ([]float64, error) {
+			r, err := stencil.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{r.MPIPct, r.ComputePct, r.SyncPct}, nil
+		})
 		perCore := float64(e) * float64(e) * float64(e) * 8 / float64(cores)
-		mpiS.Add(perCore, r.MPIPct)
-		compS.Add(perCore, r.ComputePct)
-		syncS.Add(perCore, r.SyncPct)
+		mpiS.Add(perCore, pct[0])
+		compS.Add(perCore, pct[1])
+		syncS.Add(perCore, pct[2])
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig12b(o Options) ([]*report.Table, error) {
+func fig12b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig12b", Title: "Genome assembly strong scaling",
 		XLabel: "cores", YLabel: "execution time s"}
 	procCounts := []int{4, 8, 16, 32}
@@ -172,15 +179,19 @@ func fig12b(o Options) ([]*report.Table, error) {
 	for _, k := range kernelLocks {
 		s := t.AddSeries(k.String())
 		for _, procs := range procCounts {
-			r, err := genome.Run(genome.Params{
+			p := genome.Params{
 				Lock: k, Procs: procs, ProcsPerNode: 4,
 				GenomeLen: genomeLen, Reads: reads, Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
+			secs := pl.Value(func() (float64, error) {
+				r, err := genome.Run(p)
+				if err != nil {
+					return 0, err
+				}
+				return float64(r.SimNs) / 1e9, nil
+			})
 			// Paper: 4 procs/node, 2 threads each => cores = 2*procs.
-			s.Add(float64(2*procs), float64(r.SimNs)/1e9)
+			s.Add(float64(2*procs), secs)
 		}
 	}
 	return []*report.Table{t}, nil

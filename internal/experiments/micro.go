@@ -24,7 +24,7 @@ func init() {
 	register("fig9c", "RMA Accumulate with async progress (Fig. 9c)", rmaFig(workloads.OpAcc))
 }
 
-func table1(o Options) ([]*report.Table, error) {
+func table1(o Options, pl *Plan) ([]*report.Table, error) {
 	spec := machine.Table1(machine.Nehalem2x4(310))
 	t := &report.Table{ID: "table1", Title: "Target machine specification",
 		XLabel: "-", YLabel: "see text"}
@@ -40,17 +40,23 @@ func Table1Text() string {
 	return machine.Table1(machine.Nehalem2x4(310)).String()
 }
 
-func throughputSeries(o Options, t *report.Table, name string, mk func(bytes int64) workloads.ThroughputParams) error {
-	s := t.AddSeries(name)
-	for _, bytes := range o.msgSizes() {
-		p := mk(bytes)
+// throughputRate declares one throughput point and yields its rate in
+// 10^3 msgs/s, as in the paper.
+func throughputRate(pl *Plan, p workloads.ThroughputParams) float64 {
+	return pl.Value(func() (float64, error) {
 		r, err := workloads.Throughput(p)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		s.Add(float64(bytes), r.RateMsgsPerSec/1000) // 10^3 msgs/s, as in the paper
+		return r.RateMsgsPerSec / 1000, nil
+	})
+}
+
+func throughputSeries(o Options, pl *Plan, t *report.Table, name string, mk func(bytes int64) workloads.ThroughputParams) {
+	s := t.AddSeries(name)
+	for _, bytes := range o.msgSizes() {
+		s.Add(float64(bytes), throughputRate(pl, mk(bytes)))
 	}
-	return nil
 }
 
 func baseTP(o Options, lock simlock.Kind, threads int, bytes int64) workloads.ThroughputParams {
@@ -61,22 +67,20 @@ func baseTP(o Options, lock simlock.Kind, threads int, bytes int64) workloads.Th
 	}
 }
 
-func fig2a(o Options) ([]*report.Table, error) {
+func fig2a(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig2a", Title: "Mutex throughput vs message size and threads",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, tpn := range []int{1, 2, 4, 8} {
 		tpn := tpn
 		name := map[int]string{1: "1 tpn", 2: "2 tpn", 4: "4 tpn", 8: "8 tpn"}[tpn]
-		if err := throughputSeries(o, t, name, func(b int64) workloads.ThroughputParams {
+		throughputSeries(o, pl, t, name, func(b int64) workloads.ThroughputParams {
 			return baseTP(o, simlock.KindMutex, tpn, b)
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig2b(o Options) ([]*report.Table, error) {
+func fig2b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig2b", Title: "Compact vs scatter binding (mutex, 1B messages)",
 		XLabel: "threads per node", YLabel: "10^3 msgs/s"}
 	for _, binding := range []machine.Binding{machine.Compact, machine.Scatter} {
@@ -84,17 +88,13 @@ func fig2b(o Options) ([]*report.Table, error) {
 		for _, threads := range []int{2, 4} {
 			p := baseTP(o, simlock.KindMutex, threads, 1)
 			p.Binding = binding
-			r, err := workloads.Throughput(p)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(threads), r.RateMsgsPerSec/1000)
+			s.Add(float64(threads), throughputRate(pl, p))
 		}
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig3a(o Options) ([]*report.Table, error) {
+func fig3a(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig3a", Title: "Mutex arbitration bias factors (8 threads)",
 		XLabel: "msg bytes", YLabel: "bias factor (1 = fair)"}
 	core := t.AddSeries("Core Level")
@@ -105,17 +105,20 @@ func fig3a(o Options) ([]*report.Table, error) {
 		}
 		p := baseTP(o, simlock.KindMutex, 8, bytes)
 		p.TraceRank = 1
-		r, err := workloads.Throughput(p)
-		if err != nil {
-			return nil, err
-		}
-		core.Add(float64(bytes), r.BiasCore)
-		sock.Add(float64(bytes), r.BiasSocket)
+		bias := pl.Values(2, func() ([]float64, error) {
+			r, err := workloads.Throughput(p)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{r.BiasCore, r.BiasSocket}, nil
+		})
+		core.Add(float64(bytes), bias[0])
+		sock.Add(float64(bytes), bias[1])
 	}
 	return []*report.Table{t}, nil
 }
 
-func danglingTable(o Options, id, title string, kinds []simlock.Kind) (*report.Table, error) {
+func danglingTable(o Options, pl *Plan, id, title string, kinds []simlock.Kind) *report.Table {
 	t := &report.Table{ID: id, Title: title,
 		XLabel: "msg bytes", YLabel: "avg dangling requests"}
 	for _, k := range kinds {
@@ -126,35 +129,32 @@ func danglingTable(o Options, id, title string, kinds []simlock.Kind) (*report.T
 			}
 			p := baseTP(o, k, 8, bytes)
 			p.TraceRank = 1
-			r, err := workloads.Throughput(p)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(bytes), r.DanglingAvg)
+			dangling := pl.Value(func() (float64, error) {
+				r, err := workloads.Throughput(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.DanglingAvg, nil
+			})
+			s.Add(float64(bytes), dangling)
 		}
 	}
-	return t, nil
+	return t
 }
 
-func fig3c(o Options) ([]*report.Table, error) {
-	t, err := danglingTable(o, "fig3c", "Dangling requests (mutex, 8 threads)",
+func fig3c(o Options, pl *Plan) ([]*report.Table, error) {
+	t := danglingTable(o, pl, "fig3c", "Dangling requests (mutex, 8 threads)",
 		[]simlock.Kind{simlock.KindMutex})
-	if err != nil {
-		return nil, err
-	}
 	return []*report.Table{t}, nil
 }
 
-func fig5a(o Options) ([]*report.Table, error) {
-	t, err := danglingTable(o, "fig5a", "Dangling requests: mutex vs ticket",
+func fig5a(o Options, pl *Plan) ([]*report.Table, error) {
+	t := danglingTable(o, pl, "fig5a", "Dangling requests: mutex vs ticket",
 		[]simlock.Kind{simlock.KindMutex, simlock.KindTicket})
-	if err != nil {
-		return nil, err
-	}
 	return []*report.Table{t}, nil
 }
 
-func fig5b(o Options) ([]*report.Table, error) {
+func fig5b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig5b", Title: "Binding and concurrency (1B messages)",
 		XLabel: "threads per node", YLabel: "10^3 msgs/s"}
 	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket} {
@@ -163,47 +163,45 @@ func fig5b(o Options) ([]*report.Table, error) {
 			for _, threads := range []int{1, 2, 4} {
 				p := baseTP(o, k, threads, 1)
 				p.Binding = binding
-				r, err := workloads.Throughput(p)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(threads), r.RateMsgsPerSec/1000)
+				s.Add(float64(threads), throughputRate(pl, p))
 			}
 		}
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig5c(o Options) ([]*report.Table, error) {
+func fig5c(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig5c", Title: "One process per socket, 4 threads each",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket} {
 		k := k
-		if err := throughputSeries(o, t, k.String(), func(b int64) workloads.ThroughputParams {
+		throughputSeries(o, pl, t, k.String(), func(b int64) workloads.ThroughputParams {
 			p := baseTP(o, k, 4, b)
 			p.ProcsPerNode = 2
 			return p
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig6b(o Options) ([]*report.Table, error) {
+func fig6b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig6b", Title: "N2N throughput with 4 processes",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, k := range []simlock.Kind{simlock.KindTicket, simlock.KindPriority} {
 		s := t.AddSeries(k.String())
 		for _, bytes := range o.msgSizes() {
-			r, err := workloads.N2N(workloads.N2NParams{
+			p := workloads.N2NParams{
 				Lock: k, Procs: 4, Threads: 8, MsgBytes: bytes,
 				Windows: o.windows(), Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
-			s.Add(float64(bytes), r.RateMsgsPerSec/1000)
+			rate := pl.Value(func() (float64, error) {
+				r, err := workloads.N2N(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.RateMsgsPerSec / 1000, nil
+			})
+			s.Add(float64(bytes), rate)
 		}
 	}
 	return []*report.Table{t}, nil
@@ -212,7 +210,7 @@ func fig6b(o Options) ([]*report.Table, error) {
 var allMethods = []simlock.Kind{simlock.KindNone, simlock.KindMutex,
 	simlock.KindTicket, simlock.KindPriority}
 
-func fig8a(o Options) ([]*report.Table, error) {
+func fig8a(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig8a", Title: "Two-sided throughput, 8 threads",
 		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
 	for _, k := range allMethods {
@@ -221,16 +219,14 @@ func fig8a(o Options) ([]*report.Table, error) {
 		if k == simlock.KindNone {
 			threads = 1 // MPI_THREAD_SINGLE baseline
 		}
-		if err := throughputSeries(o, t, k.String(), func(b int64) workloads.ThroughputParams {
+		throughputSeries(o, pl, t, k.String(), func(b int64) workloads.ThroughputParams {
 			return baseTP(o, k, threads, b)
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	return []*report.Table{t}, nil
 }
 
-func fig8b(o Options) ([]*report.Table, error) {
+func fig8b(o Options, pl *Plan) ([]*report.Table, error) {
 	t := &report.Table{ID: "fig8b", Title: "Two-sided latency, 8 threads",
 		XLabel: "msg bytes", YLabel: "latency us"}
 	iters := 50
@@ -244,14 +240,18 @@ func fig8b(o Options) ([]*report.Table, error) {
 		}
 		s := t.AddSeries(k.String())
 		for _, bytes := range o.msgSizes() {
-			r, err := workloads.Latency(workloads.LatencyParams{
+			p := workloads.LatencyParams{
 				Lock: k, Threads: threads, MsgBytes: bytes,
 				Iters: iters, Seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
 			}
-			s.Add(float64(bytes), r.AvgOneWayUs)
+			lat := pl.Value(func() (float64, error) {
+				r, err := workloads.Latency(p)
+				if err != nil {
+					return 0, err
+				}
+				return r.AvgOneWayUs, nil
+			})
+			s.Add(float64(bytes), lat)
 		}
 	}
 	return []*report.Table{t}, nil
@@ -265,8 +265,8 @@ func (o Options) elemSizes() []int64 {
 	return []int64{8, 64, 512, 4096, 32768, 262144, 2097152}
 }
 
-func rmaFig(op workloads.RMAOp) func(Options) ([]*report.Table, error) {
-	return func(o Options) ([]*report.Table, error) {
+func rmaFig(op workloads.RMAOp) func(Options, *Plan) ([]*report.Table, error) {
+	return func(o Options, pl *Plan) ([]*report.Table, error) {
 		id := map[workloads.RMAOp]string{
 			workloads.OpPut: "fig9a", workloads.OpGet: "fig9b", workloads.OpAcc: "fig9c",
 		}[op]
@@ -280,14 +280,18 @@ func rmaFig(op workloads.RMAOp) func(Options) ([]*report.Table, error) {
 		for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority} {
 			s := t.AddSeries(k.String())
 			for _, elem := range o.elemSizes() {
-				r, err := workloads.RMA(workloads.RMAParams{
+				p := workloads.RMAParams{
 					Lock: k, Op: op, ElemBytes: elem, Ops: ops,
 					Window: 1, Seed: o.seed(),
-				})
-				if err != nil {
-					return nil, err
 				}
-				s.Add(float64(elem), r.RateElemPerSec/1000)
+				rate := pl.Value(func() (float64, error) {
+					r, err := workloads.RMA(p)
+					if err != nil {
+						return 0, err
+					}
+					return r.RateElemPerSec / 1000, nil
+				})
+				s.Add(float64(elem), rate)
 			}
 		}
 		return []*report.Table{t}, nil

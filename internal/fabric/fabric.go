@@ -3,6 +3,8 @@
 // (Mellanox QDR class), and a cheaper shared-memory path between processes
 // on the same node. Delivery is asynchronous: packets arrive as events in
 // the destination process's completion queue.
+//
+// fabric is part of the deterministic core (docs/ARCHITECTURE.md).
 package fabric
 
 import (

@@ -10,6 +10,8 @@
 // single seed, so a faulty run is exactly reproducible and — because the
 // plane draws nothing when disabled — a fault-free run is byte-identical
 // to a build without the plane at all.
+//
+// fault is part of the deterministic core (docs/ARCHITECTURE.md).
 package fault
 
 import (

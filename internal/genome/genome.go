@@ -6,6 +6,8 @@
 // sending and one receiving data with blocking MPI_Send/MPI_Recv — which is
 // precisely the MPI_THREAD_MULTIPLE pattern whose lock contention the paper
 // measures.
+//
+// genome is part of the deterministic core (docs/ARCHITECTURE.md).
 package genome
 
 import (

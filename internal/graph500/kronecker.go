@@ -4,6 +4,8 @@
 // level-synchronized BFS whose threads cooperate on computation and
 // communicate independently with MPI_Test polling, after the reference
 // design the paper extends.
+//
+// graph500 is part of the deterministic core (docs/ARCHITECTURE.md).
 package graph500
 
 import "mpicontend/internal/sim"

@@ -6,6 +6,8 @@
 // The default preset mirrors Table 1 of the paper: dual-socket Intel Xeon
 // E5540 (Nehalem), 4 cores per socket, SMT disabled, nodes connected by a
 // Mellanox QDR InfiniBand fabric.
+//
+// machine is part of the deterministic core (docs/ARCHITECTURE.md).
 package machine
 
 import "fmt"

@@ -11,6 +11,9 @@
 // and blocking calls then iterate the progress loop, releasing and
 // re-acquiring the CS (low priority) around each poll — the yield window in
 // which lock arbitration decides who advances.
+//
+// mpi is part of the deterministic core (docs/ARCHITECTURE.md); the
+// lockpair analyzer enforces its critical-section discipline.
 package mpi
 
 import (

@@ -1,6 +1,10 @@
 // Package report renders experiment results as the aligned text tables and
 // series the cmd tools and EXPERIMENTS.md use, mirroring the rows/columns
 // of the paper's figures.
+//
+// report is pure formatting with no simulation state; both the
+// deterministic core and the driver shell use it (docs/ARCHITECTURE.md),
+// and its output is part of the byte-identical determinism contract.
 package report
 
 import (

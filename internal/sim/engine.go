@@ -10,6 +10,10 @@
 //
 // Simthreads are backed by goroutines but synchronized with a baton
 // hand-off, so the simulation is sequential and race-free by construction.
+//
+// sim is the foundation of the deterministic core (docs/ARCHITECTURE.md)
+// and the only core package allowed goroutines — everything above it gets
+// concurrency exclusively through this scheduler.
 package sim
 
 import (

@@ -12,6 +12,8 @@
 // seeded jitter. Futex-slept threads additionally pay a kernel wake-up
 // penalty. The earliest observer wins a mutex CAS race; a ticket release
 // instead hands off to the unique next ticket holder.
+//
+// simlock is part of the deterministic core (docs/ARCHITECTURE.md).
 package simlock
 
 import (

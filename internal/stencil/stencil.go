@@ -3,6 +3,8 @@
 // domain decomposition where every thread independently performs its own
 // halo exchanges with nonblocking send/receive + Waitall and synchronizes
 // with its process peers only at the end of each iteration.
+//
+// stencil is part of the deterministic core (docs/ARCHITECTURE.md).
 package stencil
 
 import (

@@ -17,6 +17,8 @@
 //
 // The disabled path is free by construction: every recording method is a
 // nil-receiver no-op, so hook sites compile down to a pointer nil check.
+//
+// telemetry is part of the deterministic core (docs/ARCHITECTURE.md).
 package telemetry
 
 // SpanKind classifies a recorded interval.

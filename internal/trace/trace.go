@@ -2,6 +2,8 @@
 // arbitration-fairness estimators (Pc, Ps and their bias factors against a
 // fair arbitration) and the §4.4 dangling-request profiler sampled at lock
 // acquisition granularity.
+//
+// trace is part of the deterministic core (docs/ARCHITECTURE.md).
 package trace
 
 import (

@@ -3,6 +3,9 @@
 // benchmark (§4.1), the osu_latency-derived multithreaded latency benchmark
 // (§6.1.1), the N2N all-to-all streaming benchmark (§5.2), and the
 // ARMCI-style RMA benchmark with asynchronous progress (§6.1.2).
+//
+// workloads is part of the deterministic core (docs/ARCHITECTURE.md):
+// each Run call builds an isolated engine from its params and seed.
 package workloads
 
 import (

@@ -15,6 +15,10 @@
 // mutexes is not observable here (see DESIGN.md); these types reproduce
 // the algorithms and their fairness properties, not the hardware bias.
 // Spin loops yield with runtime.Gosched so they remain scheduler-friendly.
+//
+// locks sits outside the simulation's core/shell boundary entirely
+// (docs/ARCHITECTURE.md): real goroutine concurrency is its point, so the
+// simcheck determinism rules exempt it.
 package locks
 
 import (

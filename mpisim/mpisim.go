@@ -13,6 +13,11 @@
 //		Lock: mpisim.Ticket, Threads: 8, MsgBytes: 64,
 //	})
 //	fmt.Printf("%.0f msgs/s\n", res.RateMsgsPerSec)
+//
+// mpisim fronts the deterministic core (docs/ARCHITECTURE.md): every call
+// builds an isolated engine from its config and seed and is a pure
+// function of them. Sweep and RunPoints fan such isolated runs across OS
+// workers with byte-identical output.
 package mpisim
 
 import (
@@ -24,6 +29,7 @@ import (
 	"mpicontend/internal/graph500"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
+	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/stencil"
 	"mpicontend/internal/telemetry"
@@ -560,11 +566,22 @@ func RunExperimentSeeded(id string, quick bool, seed uint64) ([]Figure, error) {
 		return nil, err
 	}
 	if id == "table1" {
-		return []Figure{{ID: "table1", Title: e.Title, Text: experiments.Table1Text()}}, nil
+		return figuresFor(e, nil), nil
 	}
 	tables, err := e.Run(experiments.Options{Quick: quick, Seed: seed})
 	if err != nil {
 		return nil, err
+	}
+	return figuresFor(e, tables), nil
+}
+
+// figuresFor converts an experiment's rendered tables to public Figures.
+// It is the single table→Figure path, shared by the one-experiment entry
+// points and the parallel Sweep, so both produce identical bytes.
+func figuresFor(e experiments.Experiment, tables []*report.Table) []Figure {
+	if e.ID == "table1" {
+		// Table 1 is static machine-specification text, not a data series.
+		return []Figure{{ID: "table1", Title: e.Title, Text: experiments.Table1Text()}}
 	}
 	figs := make([]Figure, 0, len(tables))
 	for _, t := range tables {
@@ -574,7 +591,7 @@ func RunExperimentSeeded(id string, quick bool, seed uint64) ([]Figure, error) {
 		figs = append(figs, Figure{ID: t.ID, Title: t.Title,
 			Text: data.ASCII(), Chart: t.Chart(), Data: data})
 	}
-	return figs, nil
+	return figs
 }
 
 // PatternKind selects a scenario of the multithreaded MPI pattern battery
