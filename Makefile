@@ -7,10 +7,11 @@
 #   make figures regenerate the full figure output
 #   make trace   record + validate a Perfetto trace of the fig8a probe
 #   make parity  prove -jobs 1 and -jobs 4 stdout are byte-identical
+#   make bench   run the repo benchmarks and emit BENCH_5.json
 
 GO ?= go
 
-.PHONY: check build vet simcheck test race shuffle soak figures trace parity
+.PHONY: check build vet simcheck test race shuffle soak figures trace parity bench
 
 check: build vet simcheck test
 
@@ -51,3 +52,10 @@ parity:
 	/tmp/mpistorm-parity -experiment all -quick -jobs 4 > /tmp/parity-jobs4.txt
 	cmp /tmp/parity-jobs1.txt /tmp/parity-jobs4.txt
 	@echo "parity OK: -jobs 1 and -jobs 4 output is byte-identical"
+
+# Benchmark report: one timed pass over the repository benchmarks
+# (-benchtime=1x keeps it minutes, and allocs/op is exact either way),
+# parsed into BENCH_5.json by cmd/benchjson. CI uploads the file as an
+# artifact so runs can be diffed for perf/allocation regressions.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_5.json

@@ -1,0 +1,344 @@
+package experiments
+
+// Paper-claims conformance suite: each ✔/◐ verdict shape recorded in
+// EXPERIMENTS.md is asserted programmatically against a quick run of the
+// corresponding experiment. The checks are deliberately written as pure
+// functions over report tables so that the same predicates can be turned
+// against *wrong* data: TestClaimsRejectContentionFreeCostModel rebuilds
+// the fig8a table under a cost model with contention gutted and requires
+// the fig8a claim to fail, and TestClaimCheckersRejectPerturbedTables
+// feeds each checker a minimally perturbed table. A conformance suite
+// that cannot reject anything would pin nothing.
+//
+// Margins are chosen between the observed quick-run values and the claim
+// boundary, so real regressions trip them while run-to-run determinism
+// (byte-identical output) keeps them exact.
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicontend/internal/machine"
+	"mpicontend/internal/report"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/workloads"
+)
+
+// claimVal reads series name at x, as an error rather than a t.Fatal so
+// checkers stay pure.
+func claimVal(tb *report.Table, name string, x float64) (float64, error) {
+	for _, s := range tb.Series {
+		if s.Name != name {
+			continue
+		}
+		if y, ok := s.Y(x); ok {
+			return y, nil
+		}
+		return 0, fmt.Errorf("table %s series %q has no point at x=%g", tb.ID, name, x)
+	}
+	return 0, fmt.Errorf("table %s lacks series %q", tb.ID, name)
+}
+
+// claimXs returns the x axis of the table's first series.
+func claimXs(tb *report.Table) ([]float64, error) {
+	if len(tb.Series) == 0 || len(tb.Series[0].Points) == 0 {
+		return nil, fmt.Errorf("table %s is empty", tb.ID)
+	}
+	xs := make([]float64, len(tb.Series[0].Points))
+	for i, p := range tb.Series[0].Points {
+		xs[i] = p.X
+	}
+	return xs, nil
+}
+
+// atLeast asserts a >= factor*b, labelling both sides.
+func atLeast(what string, a float64, factor float64, b float64) error {
+	if a < factor*b {
+		return fmt.Errorf("%s: %.3g < %.3g x %.3g", what, a, factor, b)
+	}
+	return nil
+}
+
+// claimFig8a: paper Fig. 8a / EXPERIMENTS.md "single > ticket ≈ priority
+// > mutex" at small messages. Asserted at the smallest size, where the
+// lock arbitration dominates: the single-threaded baseline beats every
+// multithreaded method by a real margin, and both fair locks beat the
+// mutex. (Series converge at >= 16KB, so nothing is claimed there.)
+func claimFig8a(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	x := xs[0]
+	get := func(name string) float64 {
+		y, e := claimVal(tb, name, x)
+		if e != nil && err == nil {
+			err = e
+		}
+		return y
+	}
+	single, mutex := get("Single"), get("Mutex")
+	ticket, prio := get("Ticket"), get("Priority")
+	if err != nil {
+		return err
+	}
+	for _, c := range []error{
+		atLeast("Single vs Ticket", single, 1.05, ticket),
+		atLeast("Single vs Priority", single, 1.05, prio),
+		atLeast("Ticket vs Mutex", ticket, 1.05, mutex),
+		atLeast("Priority vs Mutex", prio, 1.02, mutex),
+	} {
+		if c != nil {
+			return fmt.Errorf("fig8a ordering at %gB: %w", x, c)
+		}
+	}
+	return nil
+}
+
+// claimFig2a: paper Fig. 2a — mutex throughput falls monotonically with
+// thread count at small messages, with a substantial total drop.
+func claimFig2a(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	x := xs[0]
+	order := []string{"1 tpn", "2 tpn", "4 tpn", "8 tpn"}
+	var prev float64
+	for i, name := range order {
+		y, err := claimVal(tb, name, x)
+		if err != nil {
+			return err
+		}
+		// Allow 0.5% slack against simulation noise in the plateau; the
+		// claim is the monotone trend, not exact pointwise decrease.
+		if i > 0 && y > prev*1.005 {
+			return fmt.Errorf("fig2a at %gB: %s (%.1f) above %s (%.1f) — rate not non-increasing in threads",
+				x, name, y, order[i-1], prev)
+		}
+		prev = y
+	}
+	one, _ := claimVal(tb, "1 tpn", x)
+	eight, _ := claimVal(tb, "8 tpn", x)
+	return atLeast(fmt.Sprintf("fig2a at %gB: 1 tpn vs 8 tpn drop", x), one, 1.10, eight)
+}
+
+// claimFig3a: paper Fig. 3a — mutex arbitration bias is hierarchical:
+// core-level bias exceeds socket-level bias, which exceeds fair (1.0),
+// at every message size.
+func claimFig3a(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	for _, x := range xs {
+		core, err := claimVal(tb, "Core Level", x)
+		if err != nil {
+			return err
+		}
+		socket, err := claimVal(tb, "Socket Level", x)
+		if err != nil {
+			return err
+		}
+		if err := atLeast(fmt.Sprintf("fig3a core vs socket bias at %gB", x), core, 1.5, socket); err != nil {
+			return err
+		}
+		if err := atLeast(fmt.Sprintf("fig3a socket bias vs fair at %gB", x), socket, 1.0, 1.2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// claimFig5a: paper Fig. 5a — the ticket lock keeps dangling requests
+// near zero while the mutex accumulates them: mutex dangling exceeds
+// ticket by at least 4x at every size, and the ticket curve is flat.
+func claimFig5a(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	tmin, tmax := 0.0, 0.0
+	for i, x := range xs {
+		mutex, err := claimVal(tb, "Mutex", x)
+		if err != nil {
+			return err
+		}
+		ticket, err := claimVal(tb, "Ticket", x)
+		if err != nil {
+			return err
+		}
+		if err := atLeast(fmt.Sprintf("fig5a mutex vs ticket dangling at %gB", x), mutex, 4, ticket); err != nil {
+			return err
+		}
+		if i == 0 || ticket < tmin {
+			tmin = ticket
+		}
+		if i == 0 || ticket > tmax {
+			tmax = ticket
+		}
+	}
+	if tmax > 2*tmin && tmax-tmin > 5 {
+		return fmt.Errorf("fig5a: ticket dangling not flat: %.2f..%.2f", tmin, tmax)
+	}
+	return nil
+}
+
+// claimFig9a: paper Fig. 9a — with asynchronous progress, the fair locks
+// beat the mutex at every element size (decisively beyond the smallest),
+// and ticket ≈ priority throughout.
+func claimFig9a(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	for i, x := range xs {
+		mutex, err := claimVal(tb, "Mutex", x)
+		if err != nil {
+			return err
+		}
+		ticket, err := claimVal(tb, "Ticket", x)
+		if err != nil {
+			return err
+		}
+		prio, err := claimVal(tb, "Priority", x)
+		if err != nil {
+			return err
+		}
+		factor := 1.5
+		if i > 0 {
+			// Beyond the smallest size the mutex starves progress almost
+			// completely (paper: up to 5x; this model: more).
+			factor = 3
+		}
+		if err := atLeast(fmt.Sprintf("fig9a ticket vs mutex at %gB", x), ticket, factor, mutex); err != nil {
+			return err
+		}
+		if err := atLeast(fmt.Sprintf("fig9a priority vs mutex at %gB", x), prio, factor, mutex); err != nil {
+			return err
+		}
+		if ticket > prio*1.15 || prio > ticket*1.15 {
+			return fmt.Errorf("fig9a at %gB: ticket (%.1f) and priority (%.1f) diverge beyond 15%%",
+				x, ticket, prio)
+		}
+	}
+	return nil
+}
+
+// paperClaims binds each asserted verdict to its experiment.
+var paperClaims = []struct {
+	id    string
+	check func(*report.Table) error
+}{
+	{"fig2a", claimFig2a},
+	{"fig3a", claimFig3a},
+	{"fig5a", claimFig5a},
+	{"fig8a", claimFig8a},
+	{"fig9a", claimFig9a},
+}
+
+// TestPaperClaims regenerates each claimed figure in quick mode and
+// asserts its verdict shape.
+func TestPaperClaims(t *testing.T) {
+	for _, c := range paperClaims {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			tb := runExp(t, c.id)[0]
+			if err := c.check(tb); err != nil {
+				t.Errorf("claim violated: %v\n%s", err, tb.Format())
+			}
+		})
+	}
+}
+
+// TestClaimsRejectContentionFreeCostModel is the suite's own negative
+// control at the model level: rebuild the fig8a measurement under a cost
+// model whose contention machinery is gutted (free cache-line transfers,
+// no CAS storms, no futex syscalls, no runtime state following the lock)
+// and require the fig8a claim to fail. Under that mutation multithreaded
+// runs overlap their application work with a nearly free critical
+// section and overtake the single-threaded baseline — so if the claim
+// still passed, the suite would be vacuous.
+func TestClaimsRejectContentionFreeCostModel(t *testing.T) {
+	flat := machine.Default()
+	flat.SameCoreReuse = 1
+	flat.SameSocketTransfer = 1
+	flat.CrossSocketTransfer = 1
+	flat.CSStateLines = 0
+	flat.CASPenalty = 0
+	flat.CASJitter = 1 // must stay > 0 (mutex race nondeterminism)
+	flat.FutexWake = 1
+	flat.FutexWakeJitter = 1
+	flat.FutexWakeSyscall = 0
+
+	tb := &report.Table{ID: "fig8a-mutated", Title: "fig8a under gutted cost model",
+		XLabel: "msg bytes", YLabel: "10^3 msgs/s"}
+	o := quick()
+	for _, k := range []simlock.Kind{
+		simlock.KindNone, simlock.KindMutex, simlock.KindTicket, simlock.KindPriority,
+	} {
+		threads := 8
+		if k == simlock.KindNone {
+			threads = 1
+		}
+		p := baseTP(o, k, threads, 1)
+		p.Cost = flat
+		r, err := workloads.Throughput(p)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		tb.AddSeries(k.String()).Add(1, r.RateMsgsPerSec/1000)
+	}
+	if err := claimFig8a(tb); err == nil {
+		t.Fatalf("fig8a claim accepted a contention-free cost model — the suite cannot detect model regressions\n%s",
+			tb.Format())
+	} else {
+		t.Logf("claim correctly rejected mutated model: %v", err)
+	}
+}
+
+// TestClaimCheckersRejectPerturbedTables feeds every checker a table
+// whose shape is minimally perturbed from the claimed one and requires
+// rejection, so a checker that degenerates to always-true fails here.
+func TestClaimCheckersRejectPerturbedTables(t *testing.T) {
+	mk := func(id string, cols map[string][]float64, xs ...float64) *report.Table {
+		tb := &report.Table{ID: id}
+		for name, ys := range cols {
+			s := tb.AddSeries(name)
+			for i, x := range xs {
+				s.Add(x, ys[i])
+			}
+		}
+		return tb
+	}
+	cases := []struct {
+		name  string
+		check func(*report.Table) error
+		tb    *report.Table
+	}{
+		{"fig8a mutex beats ticket", claimFig8a, mk("fig8a",
+			map[string][]float64{"Single": {1200}, "Mutex": {1000}, "Ticket": {900}, "Priority": {950}}, 1)},
+		{"fig8a single not ahead", claimFig8a, mk("fig8a",
+			map[string][]float64{"Single": {1000}, "Mutex": {860}, "Ticket": {990}, "Priority": {940}}, 1)},
+		{"fig2a rate rises with threads", claimFig2a, mk("fig2a",
+			map[string][]float64{"1 tpn": {1100}, "2 tpn": {1150}, "4 tpn": {1000}, "8 tpn": {900}}, 1)},
+		{"fig2a drop too shallow", claimFig2a, mk("fig2a",
+			map[string][]float64{"1 tpn": {1100}, "2 tpn": {1090}, "4 tpn": {1080}, "8 tpn": {1070}}, 1)},
+		{"fig3a socket above core", claimFig3a, mk("fig3a",
+			map[string][]float64{"Core Level": {2.0}, "Socket Level": {1.8}}, 1)},
+		{"fig3a socket fair", claimFig3a, mk("fig3a",
+			map[string][]float64{"Core Level": {5.0}, "Socket Level": {1.0}}, 1)},
+		{"fig5a ticket dangles like mutex", claimFig5a, mk("fig5a",
+			map[string][]float64{"Mutex": {90}, "Ticket": {40}}, 1)},
+		{"fig9a mutex catches ticket", claimFig9a, mk("fig9a",
+			map[string][]float64{"Mutex": {200}, "Ticket": {250}, "Priority": {250}}, 8)},
+		{"fig9a ticket diverges from priority", claimFig9a, mk("fig9a",
+			map[string][]float64{"Mutex": {100}, "Ticket": {300}, "Priority": {160}}, 8)},
+	}
+	for _, c := range cases {
+		if err := c.check(c.tb); err == nil {
+			t.Errorf("%s: checker accepted perturbed table", c.name)
+		}
+	}
+}

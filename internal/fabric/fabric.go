@@ -86,6 +86,9 @@ type Packet struct {
 	// transport (ACK expected, retransmitted on timeout, deduplicated at
 	// the receiver).
 	Rel bool
+
+	// next links the fabric's packet free list while the object is pooled.
+	next *Packet
 }
 
 // Handler receives packets at their delivery time, in engine context.
@@ -112,6 +115,13 @@ type Fabric struct {
 	eps   []*Endpoint
 	plane *fault.Plane // nil = perfect network
 
+	// deliverFn routes a queued packet to its destination endpoint — one
+	// long-lived callback shared by every delivery event (sim.AtArg), so
+	// the hot path allocates no per-packet closures.
+	deliverFn func(interface{})
+	// pktFree pools packet objects returned by FreePacket.
+	pktFree *Packet
+
 	// Tel, when non-nil, records NIC injection and wire-flight spans on
 	// the telemetry plane. Purely observational.
 	Tel *telemetry.Recorder
@@ -119,7 +129,34 @@ type Fabric struct {
 
 // New creates a fabric over the given engine and cost model.
 func New(eng *sim.Engine, cost machine.CostModel) *Fabric {
-	return &Fabric{eng: eng, cost: cost}
+	f := &Fabric{eng: eng, cost: cost}
+	f.deliverFn = func(x interface{}) {
+		p := x.(*Packet)
+		f.eps[p.Dst].deliver(p)
+	}
+	return f
+}
+
+// AllocPacket returns a zeroed packet, reusing a pooled object when one is
+// available. Callers that can prove the packet dies at a known point may
+// hand it back with FreePacket; callers that cannot simply let the garbage
+// collector take it.
+func (f *Fabric) AllocPacket() *Packet {
+	if p := f.pktFree; p != nil {
+		f.pktFree = p.next
+		*p = Packet{}
+		return p
+	}
+	return new(Packet)
+}
+
+// FreePacket recycles p. The caller must guarantee no live references
+// remain: in particular, under a fault plane a wire packet may be
+// duplicated or stashed for retransmission, so only fault-free traffic
+// (and packets that never crossed the wire) are safe to free.
+func (f *Fabric) FreePacket(p *Packet) {
+	*p = Packet{next: f.pktFree}
+	f.pktFree = p
 }
 
 // InjectFaults attaches a fault plane; every subsequent wire packet is
@@ -201,17 +238,18 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 		if f.Tel != nil {
 			f.Tel.Flight(ep.id, p.Dst, p.Kind.String(), p.Bytes, injectEnd, arrive)
 		}
-		f.eng.At(arrive, func() { dst.deliver(p) })
+		f.eng.AtArg(arrive, f.deliverFn, p)
 		if v.Duplicate {
 			// The copy shares the packet struct: handlers treat packets
 			// as read-only, and the receiver's transport deduplicates.
-			f.eng.At(arrive+v.DupExtraNs, func() { dst.deliver(p) })
+			f.eng.AtArg(arrive+v.DupExtraNs, f.deliverFn, p)
 		}
 	}
 
 	if notifyTx {
-		done := &Packet{Kind: TxDone, Src: ep.id, Dst: ep.id, Handle: p.Handle}
-		f.eng.At(injectEnd, func() { ep.deliver(done) })
+		done := f.AllocPacket()
+		done.Kind, done.Src, done.Dst, done.Handle = TxDone, ep.id, ep.id, p.Handle
+		f.eng.AtArg(injectEnd, f.deliverFn, done)
 	}
 	return injectEnd
 }

@@ -249,6 +249,9 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 			p.queueCS.enter(th, cl)
 			th.S.Sleep(cost.ProgressHandleWork)
 			p.handlePacket(th, pkt)
+			if p.rel == nil {
+				p.w.Fab.FreePacket(pkt) // see pollOnce: fault-free packets die here
+			}
 			p.queueCS.exit(th, cl)
 		}
 		if post != nil {
@@ -266,9 +269,13 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 		handled := 0
 		for len(p.cq) > 0 && handled < maxEventsPerPoll {
 			pkt := p.cq[0]
+			p.cq[0] = nil
 			p.cq = p.cq[1:]
 			th.S.Sleep(cost.ProgressHandleWork + cost.AtomicOpCost)
 			p.handlePacket(th, pkt)
+			if p.rel == nil {
+				p.w.Fab.FreePacket(pkt) // see pollOnce: fault-free packets die here
+			}
 			handled++
 		}
 		if p.w.tel != nil {

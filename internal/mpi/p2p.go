@@ -14,24 +14,29 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 	worldDst := c.world(dst)
 	tel := th.telStart()
 	th.mainBegin()
-	r := &Request{
+	r := p.w.allocRequest()
+	*r = Request{
 		p: p, kind: SendReq, dst: worldDst, src: p.Rank,
 		tag: tag, ctx: c.ctx, bytes: bytes, payload: payload,
-		comm: c, maxBytes: -1,
+		comm: c, maxBytes: -1, poolable: p.rel == nil,
 	}
 	p.outstanding++
 	p.armDeadline(r)
 	meta := rtsMeta{src: c.rank(p.Rank), tag: tag, ctx: c.ctx, bytes: bytes}
 	if bytes <= cost.EagerThreshold {
-		p.send(&fabric.Packet{
+		pkt := p.w.Fab.AllocPacket()
+		*pkt = fabric.Packet{
 			Kind: fabric.Eager, Src: p.Rank, Dst: worldDst,
 			Bytes: bytes, Handle: r, Meta: meta, Payload: payload,
-		}, true, r)
+		}
+		p.send(pkt, true, r)
 	} else {
 		r.rndv = true
-		p.send(&fabric.Packet{
+		pkt := p.w.Fab.AllocPacket()
+		*pkt = fabric.Packet{
 			Kind: fabric.RTS, Src: p.Rank, Dst: worldDst, Handle: r, Meta: meta,
-		}, false, r)
+		}
+		p.send(pkt, false, r)
 	}
 	th.mainEnd()
 	th.telCall("Isend", tel)
@@ -54,7 +59,8 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 	cost := th.cost()
 	tel := th.telStart()
 	th.mainBegin()
-	r := &Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
+	r := p.w.allocRequest()
+	*r = Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
 		comm: c, maxBytes: maxBytes}
 	p.outstanding++
 	p.armDeadline(r)
@@ -69,10 +75,12 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 			if truncated {
 				r.fail(ErrTruncate, th.S.Now())
 			}
-			p.send(&fabric.Packet{
+			pkt := p.w.Fab.AllocPacket()
+			*pkt = fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: e.src,
 				Handle: e.senderReq, Meta: ctsMeta{recvReq: r},
-			}, false, nil)
+			}
+			p.send(pkt, false, nil)
 		} else if truncated {
 			r.fail(ErrTruncate, th.S.Now())
 		} else {
@@ -105,7 +113,7 @@ func (th *Thread) Wait(r *Request) error {
 		r.free()
 		th.stateEnd(simlock.High)
 		th.telCall("Wait", tel)
-		return r.raise()
+		return r.release()
 	}
 	th.stateEnd(simlock.High)
 	th.pollBackoff = 0
@@ -120,7 +128,7 @@ func (th *Thread) Wait(r *Request) error {
 		})
 		if done {
 			th.telCall("Wait", tel)
-			return r.raise()
+			return r.release()
 		}
 		th.progressYield()
 	}
@@ -147,7 +155,7 @@ func (th *Thread) Waitall(rs []*Request) error {
 				th.S.Sleep(cost.RequestFreeWork)
 				r := pending[i]
 				r.free()
-				if err := r.raise(); err != nil && firstErr == nil {
+				if err := r.release(); err != nil && firstErr == nil {
 					firstErr = err
 				}
 				pending[i] = pending[len(pending)-1]

@@ -42,9 +42,18 @@ func (p *Proc) pollOnce(th *Thread) {
 	handled := 0
 	for len(p.cq) > 0 && handled < maxEventsPerPoll {
 		pkt := p.cq[0]
+		p.cq[0] = nil
 		p.cq = p.cq[1:]
 		th.S.Sleep(cost.ProgressHandleWork)
 		p.handlePacket(th, pkt)
+		if p.rel == nil {
+			// Fault-free traffic dies here: every handler branch copies
+			// what it keeps (payload refs, envelope fields), and without
+			// a fault plane there are no duplicate deliveries or
+			// retransmit stashes sharing the struct — so the packet can
+			// go back to the fabric pool.
+			p.w.Fab.FreePacket(pkt)
+		}
 		handled++
 	}
 	if p.w.tel != nil {
@@ -107,10 +116,12 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 				// payload of a completed request.
 				r.fail(ErrTruncate, now)
 			}
-			p.send(&fabric.Packet{
+			cts := p.w.Fab.AllocPacket()
+			*cts = fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: pkt.Src,
 				Handle: pkt.Handle, Meta: ctsMeta{recvReq: r},
-			}, false, nil)
+			}
+			p.send(cts, false, nil)
 		} else {
 			p.unexp = append(p.unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
@@ -125,11 +136,13 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 		// failed by its deadline still drains the transfer (the receiver
 		// expects the data), so no guard here.
 		sreq := pkt.Handle.(*Request)
-		p.send(&fabric.Packet{
+		rdata := p.w.Fab.AllocPacket()
+		*rdata = fabric.Packet{
 			Kind: fabric.RData, Src: p.Rank, Dst: sreq.dst,
 			Bytes: sreq.bytes, Handle: sreq, Meta: pkt.Meta,
 			Payload: sreq.payload,
-		}, true, sreq)
+		}
+		p.send(rdata, true, sreq)
 
 	case fabric.RData:
 		// Rendezvous payload lands directly in the posted buffer — unless

@@ -61,6 +61,15 @@ type Request struct {
 	err *Error
 	// deadline is the armed per-request timeout (reliable mode only).
 	deadline *sim.Timer
+
+	// poolable marks requests whose object provably dies at release time
+	// (fault-free sends and RMA put/accumulate: nothing reads them after
+	// the error handler ran). Receives and gets are excluded because
+	// callers read Data() after waiting; reliable-mode requests because
+	// retransmit state may still reference them.
+	poolable bool
+	// nextFree links the world's request free list while pooled.
+	nextFree *Request
 }
 
 // Err returns the error that failed the request, or nil. Valid once the
@@ -155,6 +164,17 @@ func (r *Request) free() {
 	if r.win != nil {
 		r.win.pending--
 	}
+}
+
+// release runs the error handler for a freed request and, when the object
+// is provably dead, returns it to the world pool. The caller must not
+// touch r afterwards (standard MPI: a waited-on request is inactive).
+func (r *Request) release() error {
+	err := r.raise()
+	if r.poolable && r.err == nil {
+		r.p.w.recycleRequest(r)
+	}
+	return err
 }
 
 // envelope is an entry of the unexpected-message queue: a message (eager,

@@ -44,8 +44,12 @@ func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 	p := th.P
 	tel := th.telStart()
 	th.mainBegin()
-	r := &Request{p: p, kind: RMAReq, dst: target, src: p.Rank,
-		bytes: count * win.elemSize, win: win}
+	r := p.w.allocRequest()
+	*r = Request{p: p, kind: RMAReq, dst: target, src: p.Rank,
+		bytes: count * win.elemSize, win: win,
+		// Gets are excluded from pooling: callers read Data() after the
+		// wait that freed the request.
+		poolable: p.rel == nil && kind != fabric.RMAGet}
 	p.outstanding++
 	win.pending++
 	p.armDeadline(r)
@@ -55,11 +59,13 @@ func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 		bytes = count * win.elemSize
 		data = payload
 	}
-	p.send(&fabric.Packet{
+	pkt := p.w.Fab.AllocPacket()
+	*pkt = fabric.Packet{
 		Kind: kind, Src: p.Rank, Dst: target, Bytes: bytes,
 		Handle: r, Meta: rmaMeta{winID: win.id, offset: offset, count: count},
 		Payload: data,
-	}, false, r)
+	}
+	p.send(pkt, false, r)
 	th.mainEnd()
 	th.telCall(kind.String(), tel)
 	return r
@@ -102,8 +108,10 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		vals := pkt.Payload.([]float64)
 		th.S.Sleep(cost.CopyTime(pkt.Bytes))
 		copy(win.buffers[p.Rank][m.offset:], vals)
-		p.send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
-			Dst: pkt.Src, Handle: pkt.Handle}, false, nil)
+		ack := p.w.Fab.AllocPacket()
+		*ack = fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}
+		p.send(ack, false, nil)
 
 	case fabric.RMAAcc:
 		m := pkt.Meta.(rmaMeta)
@@ -114,8 +122,10 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		for i, v := range vals {
 			dst[i] += v
 		}
-		p.send(&fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
-			Dst: pkt.Src, Handle: pkt.Handle}, false, nil)
+		ack := p.w.Fab.AllocPacket()
+		*ack = fabric.Packet{Kind: fabric.RMAAck, Src: p.Rank,
+			Dst: pkt.Src, Handle: pkt.Handle}
+		p.send(ack, false, nil)
 
 	case fabric.RMAGet:
 		m := pkt.Meta.(rmaMeta)
@@ -123,9 +133,11 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		th.S.Sleep(cost.CopyTime(m.count * win.elemSize))
 		vals := make([]float64, m.count)
 		copy(vals, win.buffers[p.Rank][m.offset:])
-		p.send(&fabric.Packet{Kind: fabric.RMAGetReply, Src: p.Rank,
+		reply := p.w.Fab.AllocPacket()
+		*reply = fabric.Packet{Kind: fabric.RMAGetReply, Src: p.Rank,
 			Dst: pkt.Src, Bytes: m.count * win.elemSize,
-			Handle: pkt.Handle, Payload: vals}, false, nil)
+			Handle: pkt.Handle, Payload: vals}
+		p.send(reply, false, nil)
 
 	case fabric.RMAGetReply:
 		// A get already failed by its deadline drops the late reply.

@@ -123,6 +123,27 @@ type World struct {
 	retransmitsTotal int64
 	requestFailures  int64
 	watchdogStalls   int64
+
+	// reqFree pools request objects released by Wait/Waitall (see
+	// Request.poolable for the safety conditions).
+	reqFree *Request
+}
+
+// allocRequest returns a zeroed request, reusing a pooled object when one
+// is available.
+func (w *World) allocRequest() *Request {
+	if r := w.reqFree; r != nil {
+		w.reqFree = r.nextFree
+		*r = Request{}
+		return r
+	}
+	return new(Request)
+}
+
+// recycleRequest returns a provably-dead request to the pool.
+func (w *World) recycleRequest(r *Request) {
+	r.nextFree = w.reqFree
+	w.reqFree = r
 }
 
 // NewWorld builds the world: engine, fabric, and one Proc per rank with its

@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,10 +30,10 @@ type Time = int64
 // Engine is a deterministic discrete-event simulation engine. The zero value
 // is not usable; create engines with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *Rand
+	now Time
+	seq uint64
+	q   eventQueue
+	rng *Rand
 
 	threads []*Thread
 	running *Thread // thread currently holding the baton, nil if engine runs
@@ -84,43 +83,75 @@ func (e *Engine) Rand() *Rand { return e.rng }
 // EventsRun reports how many events have been dispatched so far.
 func (e *Engine) EventsRun() uint64 { return e.eventsRun }
 
-// At schedules fn to run at virtual time t (>= Now). fn runs in engine
-// context and must not block; use Spawn for blocking activities.
-func (e *Engine) At(t Time, fn func()) {
+// schedule allocates a pooled event at time t (clamped to now) and queues
+// it. The caller fills in exactly one callback field afterwards; nothing
+// fires until Run resumes, so late binding is safe.
+func (e *Engine) schedule(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
-	e.push(&event{when: t, fn: fn})
+	ev := e.q.newEvent()
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	e.q.push(ev)
+	return ev
+}
+
+// At schedules fn to run at virtual time t (>= Now). fn runs in engine
+// context and must not block; use Spawn for blocking activities.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t).fn = fn
+}
+
+// AtArg schedules fn(arg) at virtual time t. It is the allocation-free
+// variant of At for the common "one callback, one operand" pattern: the
+// caller reuses a long-lived fn and passes the operand through arg, so no
+// closure is allocated per call.
+func (e *Engine) AtArg(t Time, fn func(interface{}), arg interface{}) {
+	ev := e.schedule(t)
+	ev.argFn = fn
+	ev.arg = arg
+}
+
+// atThread schedules a dispatch of th at time t — the closure-free form of
+// At(t, func() { e.dispatch(th) }) used by Sleep, Unpark and SpawnAt.
+func (e *Engine) atThread(t Time, th *Thread) *event {
+	ev := e.schedule(t)
+	ev.thread = th
+	return ev
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// Timer is a cancellable scheduled callback.
+// Timer is a cancellable scheduled callback. The handle stays valid after
+// the callback fires: Cancel becomes a no-op (the generation snapshot
+// detects that the pooled event moved on) and When still reports the
+// scheduled time.
 type Timer struct {
-	ev *event
+	q    *eventQueue
+	ev   *event
+	gen  uint32
+	when Time
 }
 
 // AtTimer schedules fn at time t and returns a handle that can cancel it.
 func (e *Engine) AtTimer(t Time, fn func()) *Timer {
-	if t < e.now {
-		t = e.now
-	}
-	ev := &event{when: t, fn: fn}
-	e.push(ev)
-	return &Timer{ev: ev}
+	ev := e.schedule(t)
+	ev.fn = fn
+	return &Timer{q: &e.q, ev: ev, gen: ev.gen, when: ev.when}
 }
 
 // When returns the scheduled fire time.
-func (tm *Timer) When() Time { return tm.ev.when }
+func (tm *Timer) When() Time { return tm.when }
 
 // Cancel prevents the callback from running. Safe to call after firing.
-func (tm *Timer) Cancel() { tm.ev.Cancel() }
-
-func (e *Engine) push(ev *event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.events, ev)
+func (tm *Timer) Cancel() {
+	if tm.ev.gen != tm.gen {
+		return // already fired (or cancelled and compacted away)
+	}
+	tm.q.cancelEvent(tm.ev)
 }
 
 // Spawn creates a simthread that begins executing fn at the current virtual
@@ -142,7 +173,7 @@ func (e *Engine) SpawnAt(start Time, name string, fn func(t *Thread)) *Thread {
 	}
 	e.threads = append(e.threads, t)
 	go t.run(fn)
-	e.At(start, func() { e.dispatch(t) })
+	e.atThread(start, t)
 	return t
 }
 
@@ -164,17 +195,19 @@ func (e *Engine) dispatch(t *Thread) {
 func (e *Engine) Run() error {
 	defer e.shutdown()
 	wallStart := time.Now() //simcheck:allow nodeterm wall-clock watchdog; never feeds simulation state
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
+	for !e.stopped {
+		ev := e.q.pop()
+		if ev == nil {
+			break
 		}
 		if e.MaxTime > 0 && ev.when > e.MaxTime {
+			e.q.recycle(ev)
 			return fmt.Errorf("sim: exceeded MaxTime %d at event time %d", e.MaxTime, ev.when)
 		}
 		if e.MaxWall > 0 && e.eventsRun%wallCheckEvery == 0 {
 			//simcheck:allow nodeterm wall-clock watchdog; aborts hung runs, never feeds simulation state
 			if elapsed := time.Since(wallStart); elapsed > e.MaxWall {
+				e.q.recycle(ev)
 				return fmt.Errorf("sim: wall-clock watchdog: run exceeded %v (elapsed %v) at virtual time %d after %d events\n%s",
 					e.MaxWall, elapsed.Round(time.Millisecond), e.now, e.eventsRun, e.ThreadDump())
 			}
@@ -185,9 +218,30 @@ func (e *Engine) Run() error {
 		e.now = ev.when
 		e.eventsRun++
 		if e.MaxEvents > 0 && e.eventsRun > e.MaxEvents {
+			e.q.recycle(ev)
 			return fmt.Errorf("sim: exceeded MaxEvents %d", e.MaxEvents)
 		}
-		ev.fn()
+		// Copy the callback out and recycle before invoking, so a
+		// callback that cancels its own (already fired) timer sees the
+		// generation bump, and the object is immediately reusable by
+		// events the callback schedules.
+		switch {
+		case ev.thread != nil:
+			th := ev.thread
+			if th.wake == ev {
+				th.wake = nil
+			}
+			e.q.recycle(ev)
+			e.dispatch(th)
+		case ev.argFn != nil:
+			fn, arg := ev.argFn, ev.arg
+			e.q.recycle(ev)
+			fn(arg)
+		default:
+			fn := ev.fn
+			e.q.recycle(ev)
+			fn()
+		}
 	}
 	if e.stopped {
 		return nil
@@ -222,7 +276,8 @@ func (e *Engine) ThreadDump() string {
 // callbacks; from simthread context prefer calling Stop and then parking.
 func (e *Engine) Stop() { e.stopped = true }
 
-// shutdown terminates all still-blocked simthread goroutines.
+// shutdown terminates all still-blocked simthread goroutines and recycles
+// any events left in the queue (releasing the closures they reference).
 func (e *Engine) shutdown() {
 	close(e.kill)
 	for _, t := range e.threads {
@@ -236,35 +291,5 @@ func (e *Engine) shutdown() {
 			}
 		}
 	}
-}
-
-// event is a scheduled callback.
-type event struct {
-	when      Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-}
-
-// Cancel marks the event so it is skipped when popped.
-func (ev *event) Cancel() { ev.cancelled = true }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	e.q.drain()
 }

@@ -132,7 +132,7 @@ func (t *Thread) Sleep(d Time) {
 		d = 0
 	}
 	t.setState(stateSleeping)
-	t.eng.At(t.eng.now+d, func() { t.eng.dispatch(t) })
+	t.eng.atThread(t.eng.now+d, t)
 	t.yield()
 }
 
@@ -159,19 +159,14 @@ func (t *Thread) Unpark(at Time) {
 	if at < t.eng.now {
 		at = t.eng.now
 	}
-	ev := &event{when: at, fn: func() {
-		t.wake = nil
-		t.eng.dispatch(t)
-	}}
-	t.wake = ev
-	t.eng.push(ev)
+	t.wake = t.eng.atThread(at, t)
 }
 
 // UnparkCancel cancels a pending Unpark, leaving the thread parked again.
 // It is a no-op if no wake is pending.
 func (t *Thread) UnparkCancel() {
 	if t.wake != nil {
-		t.wake.Cancel()
+		t.eng.q.cancelEvent(t.wake)
 		t.wake = nil
 		t.setState(stateParked)
 	}

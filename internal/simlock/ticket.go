@@ -2,7 +2,6 @@ package simlock
 
 import (
 	"fmt"
-	"sort"
 
 	"mpicontend/internal/machine"
 	"mpicontend/internal/sim"
@@ -22,8 +21,19 @@ type TicketLock struct {
 	holder     *Ctx
 	line       machine.Place // home of the now_serving line
 	hasOwn     bool
-	waiters    map[uint64]*ticketWaiter
-	name       string
+
+	// waiters[whead:] is the FIFO of parked acquirers. Tickets are issued
+	// monotonically and served in order, so arrival order equals serve
+	// order: a ring over a reused slice replaces the old per-waiter map
+	// entries, and queue-order snapshots need no sorting.
+	waiters []ticketWaiter
+	whead   int
+
+	// wakeFn is the shared hand-off callback (sim.AtArg): one long-lived
+	// closure instead of one allocation per release.
+	wakeFn func(interface{})
+
+	name string
 	// emitGrants controls whether this lock reports acquisitions; the
 	// priority lock disables it for its component locks.
 	emitGrants bool
@@ -34,18 +44,25 @@ type TicketLock struct {
 }
 
 type ticketWaiter struct {
+	ticket    uint64
 	c         *Ctx
 	spinStart sim.Time
 }
 
 // NewTicketLock returns a FCFS ticket lock.
 func NewTicketLock(cfg *Config) *TicketLock {
-	return &TicketLock{
+	l := &TicketLock{
 		cfg:        cfg,
-		waiters:    make(map[uint64]*ticketWaiter),
 		name:       "Ticket",
 		emitGrants: true,
 	}
+	l.wakeFn = func(x interface{}) {
+		c := x.(*Ctx)
+		at := l.cfg.Eng.Now()
+		l.emit(c, at)
+		c.T.Unpark(at)
+	}
+	return l
 }
 
 // Name returns the figure label of the lock.
@@ -56,22 +73,17 @@ func (l *TicketLock) Holder() *Ctx { return l.holder }
 
 // HasWaiters reports whether any thread is queued behind the current
 // holder. The priority lock uses it to detect "last high-priority thread".
-func (l *TicketLock) HasWaiters() bool { return len(l.waiters) > 0 }
+func (l *TicketLock) HasWaiters() bool { return l.whead < len(l.waiters) }
 
 // ContenderCount returns the number of queued threads.
-func (l *TicketLock) ContenderCount() int { return len(l.waiters) }
+func (l *TicketLock) ContenderCount() int { return len(l.waiters) - l.whead }
 
 // WaiterPlaces snapshots the placements of queued threads, in ticket
 // (queue) order so the snapshot is deterministic.
 func (l *TicketLock) WaiterPlaces() []machine.Place {
-	tickets := make([]uint64, 0, len(l.waiters))
-	for t := range l.waiters {
-		tickets = append(tickets, t)
-	}
-	sort.Slice(tickets, func(i, j int) bool { return tickets[i] < tickets[j] })
-	ps := make([]machine.Place, 0, len(tickets))
-	for _, t := range tickets {
-		ps = append(ps, l.waiters[t].c.Place)
+	ps := make([]machine.Place, 0, len(l.waiters)-l.whead)
+	for _, w := range l.waiters[l.whead:] {
+		ps = append(ps, w.c.Place)
 	}
 	return ps
 }
@@ -98,7 +110,7 @@ func (l *TicketLock) Acquire(c *Ctx, _ Class) {
 		l.emit(c, eng.Now())
 		return
 	}
-	l.waiters[my] = &ticketWaiter{c: c, spinStart: eng.Now()}
+	l.waiters = append(l.waiters, ticketWaiter{ticket: my, c: c, spinStart: eng.Now()})
 	c.T.Park()
 	if l.holder != c {
 		panic("simlock: ticket lock woke a thread out of turn")
@@ -121,11 +133,26 @@ func (l *TicketLock) Release(c *Ctx, _ Class) {
 	l.line = c.Place
 	l.hasOwn = true
 
-	w, ok := l.waiters[l.nowServing]
-	if !ok {
+	if l.whead >= len(l.waiters) || l.waiters[l.whead].ticket != l.nowServing {
 		return // next ticket holder has not arrived yet (or none issued)
 	}
-	delete(l.waiters, l.nowServing)
+	w := l.waiters[l.whead]
+	l.waiters[l.whead] = ticketWaiter{}
+	l.whead++
+	if l.whead == len(l.waiters) {
+		// Queue drained: rewind the ring, keeping the backing array.
+		l.waiters = l.waiters[:0]
+		l.whead = 0
+	} else if l.whead >= 64 && l.whead*2 >= len(l.waiters) {
+		// Saturated queue that never fully drains: slide the live tail
+		// down so the backing array stays bounded.
+		n := copy(l.waiters, l.waiters[l.whead:])
+		for i := n; i < len(l.waiters); i++ {
+			l.waiters[i] = ticketWaiter{}
+		}
+		l.waiters = l.waiters[:n]
+		l.whead = 0
+	}
 	// Hand-off: the waiter observes the new now_serving after the line
 	// transfer, at its next spin check.
 	at := now + l.cfg.Cost.Transfer(c.Place, w.c.Place)
@@ -136,10 +163,7 @@ func (l *TicketLock) Release(c *Ctx, _ Class) {
 	l.locked = true
 	l.holder = w.c
 	l.line = w.c.Place
-	eng.At(at, func() {
-		l.emit(w.c, at)
-		w.c.T.Unpark(at)
-	})
+	eng.AtArg(at, l.wakeFn, w.c)
 }
 
 func (l *TicketLock) emit(c *Ctx, at sim.Time) {

@@ -1,0 +1,112 @@
+package mpisim
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestQuickOutputGolden pins the exact stdout of every experiment's
+// -quick run: each experiment's emitted text (the same bytes cmd/mpistorm
+// prints) is SHA-256-hashed and compared against the committed golden
+// map. Any drift in simulation results, table formatting, series naming,
+// or emission order fails here with a per-experiment diff of which ids
+// moved — the quick-mode analogue of the full_run.txt parity check, cheap
+// enough for every `go test` run.
+//
+// After an *intentional* output change, regenerate the goldens with
+//
+//	go test ./mpisim -run TestQuickOutputGolden -update
+//
+// and commit the rewritten testdata/quick_golden.txt alongside the change
+// (see README.md).
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite mpisim/testdata/quick_golden.txt from the current quick-run output")
+
+const goldenPath = "testdata/quick_golden.txt"
+
+// emitText renders a sweep result exactly as cmd/mpistorm's emit does.
+func emitText(r SweepResult) string {
+	var b strings.Builder
+	for _, f := range r.Figures {
+		fmt.Fprintf(&b, "== %s — %s ==\n%s\n", f.ID, f.Title, f.Text)
+	}
+	return b.String()
+}
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	m := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("golden file: malformed line %q", line)
+		}
+		m[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQuickOutputGolden(t *testing.T) {
+	results, err := Sweep(SweepConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	var order []string
+	for _, r := range results {
+		got[r.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(emitText(r))))
+		order = append(order, r.ID)
+	}
+
+	if *updateGolden {
+		var b strings.Builder
+		b.WriteString("# SHA-256 of each experiment's -quick stdout (see golden_test.go;\n")
+		b.WriteString("# regenerate with: go test ./mpisim -run TestQuickOutputGolden -update)\n")
+		for _, id := range order {
+			fmt.Fprintf(&b, "%s %s\n", id, got[id])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d experiments)", goldenPath, len(order))
+		return
+	}
+
+	want := readGolden(t)
+	for _, id := range order {
+		if _, ok := want[id]; !ok {
+			t.Errorf("%s: not in golden file (new experiment? run -update)", id)
+		}
+	}
+	for id, h := range want {
+		switch g, ok := got[id]; {
+		case !ok:
+			t.Errorf("%s: in golden file but no longer produced", id)
+		case g != h:
+			t.Errorf("%s: quick output changed (golden %s.., got %s..) — if intentional, rerun with -update",
+				id, h[:12], g[:12])
+		}
+	}
+}
