@@ -232,6 +232,39 @@ func BenchmarkChaosSoakTicket(b *testing.B)   { benchChaos(b, simlock.KindTicket
 func BenchmarkChaosSoakPriority(b *testing.B) { benchChaos(b, simlock.KindPriority) }
 func BenchmarkChaosSoakMCS(b *testing.B)      { benchChaos(b, simlock.KindMCS) }
 
+// --- Rank-failure recovery ---
+
+// benchRecovery runs the fault-tolerant workload through a mid-run rank
+// crash and reports the heartbeat detection latency — the time from the
+// fail-stop to the first survivor declaring the rank dead. The sim time
+// is deterministic; the benchmark's wall time tracks how expensive the
+// error path (revoke flood, shrink consensus, redistribution) is to
+// simulate under each arbitration method.
+func benchRecovery(b *testing.B, kind simlock.Kind, strat workloads.RecoveryStrategy) {
+	var detect float64
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.Recovery(workloads.RecoveryParams{
+			Lock: kind, Procs: 4, ProcsPerNode: 2, Iters: 24, Strategy: strat,
+			Fault: fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 60_000}}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		detect = float64(r.Recovery.DetectNs)
+	}
+	b.ReportMetric(detect, "detect-ns")
+}
+
+func BenchmarkRecoveryDetectMutex(b *testing.B) {
+	benchRecovery(b, simlock.KindMutex, workloads.RecoverShrink)
+}
+func BenchmarkRecoveryDetectTicket(b *testing.B) {
+	benchRecovery(b, simlock.KindTicket, workloads.RecoverShrink)
+}
+func BenchmarkRecoveryCheckpointMutex(b *testing.B) {
+	benchRecovery(b, simlock.KindMutex, workloads.RecoverCheckpoint)
+}
+
 // --- Telemetry overhead ---
 
 // benchTelemetry runs the fig8a-shaped contended throughput point with or

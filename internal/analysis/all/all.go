@@ -4,6 +4,7 @@ package all
 
 import (
 	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/errdrop"
 	"mpicontend/internal/analysis/lockpair"
 	"mpicontend/internal/analysis/maporder"
 	"mpicontend/internal/analysis/nodeterm"
@@ -14,6 +15,7 @@ import (
 // Analyzers returns the full simcheck suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		errdrop.Analyzer,
 		lockpair.Analyzer,
 		maporder.Analyzer,
 		nodeterm.Analyzer,

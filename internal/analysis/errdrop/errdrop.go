@@ -1,0 +1,106 @@
+// Package errdrop flags completion calls on the simulated MPI runtime
+// whose error result is silently discarded: a bare statement (or a blank
+// assignment) of Thread.Wait, Thread.Waitall, or Thread.Test. With the
+// fault plane armed these calls are the only place ErrProcFailed,
+// ErrRevoked, or ErrTimeout can surface; dropping the result turns a
+// detected rank failure back into a silent hang or wrong answer — the
+// exact bug class the recovery machinery exists to prevent.
+//
+// Call sites that are legitimately fire-and-forget (benchmark inner loops
+// on fault-free worlds, fatal-error-handler code where errors panic
+// before returning) carry a //simcheck:allow errdrop annotation with the
+// justification. Test files are skipped.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mpicontend/internal/analysis"
+)
+
+// Analyzer is the errdrop rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "the Errcode result of Thread.Wait/Waitall/Test must be consumed; " +
+		"a discarded result swallows process-failure, revocation, and " +
+		"timeout errors",
+	Applies: func(path string) bool {
+		return analysis.PathHasSegment(path, "internal")
+	},
+	Run: run,
+}
+
+// dropped names the completion methods whose result must be consumed,
+// with the reason shown in the diagnostic.
+var dropped = map[string]string{
+	"Wait":    "error",
+	"Waitall": "first error",
+	"Test":    "completion (and with it the request's error path)",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, st.X)
+			case *ast.AssignStmt:
+				// A blank assignment is still a discard: `_ = th.Wait(r)`
+				// deserves the same justification a bare statement does.
+				if len(st.Lhs) == 1 && len(st.Rhs) == 1 && isBlank(st.Lhs[0]) {
+					check(pass, st.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports expr if it is a completion call on a Thread whose result
+// the surrounding statement drops.
+func check(pass *analysis.Pass, expr ast.Expr) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	what, ok := dropped[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	if !isThread(pass.Info.Types[sel.X].Type) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result of Thread.%s discarded — it carries the %s; consume it or annotate with //simcheck:allow errdrop <reason>",
+		sel.Sel.Name, what)
+}
+
+// isThread reports whether t is the runtime's Thread type (possibly via a
+// pointer). Matched by name so the analyzer's own golden testdata can
+// model the shape without importing internal/mpi.
+func isThread(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Thread"
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,22 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/errdrop"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "testdata/src/a",
+		"mpicontend/internal/analysis/errdrop/testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	if errdrop.Analyzer.Applies("mpicontend/mpisim") {
+		t.Errorf("errdrop applies only under internal/")
+	}
+	if !errdrop.Analyzer.Applies("mpicontend/internal/workloads") {
+		t.Errorf("errdrop must apply to internal packages")
+	}
+}

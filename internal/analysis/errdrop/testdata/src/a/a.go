@@ -1,0 +1,49 @@
+// Package a is golden-test input for the errdrop analyzer: discarded
+// results of Thread.Wait/Waitall/Test must be flagged; consumed results,
+// other receivers, and annotated sites must not.
+package a
+
+// Thread models the runtime's completion API shape.
+type Thread struct{}
+
+// Request models an in-flight operation.
+type Request struct{}
+
+// Wait blocks until r completes and returns its error.
+func (th *Thread) Wait(r *Request) error { return nil }
+
+// Waitall blocks until every request completes.
+func (th *Thread) Waitall(rs []*Request) error { return nil }
+
+// Test polls once.
+func (th *Thread) Test(r *Request) bool { return false }
+
+// Barrier is a non-Thread receiver with a same-named method.
+type Barrier struct{}
+
+// Wait joins the barrier; it has no error to drop.
+func (b *Barrier) Wait(th *Thread) {}
+
+func drops(th *Thread, r *Request, rs []*Request) {
+	th.Wait(r)     // want `result of Thread.Wait discarded`
+	th.Waitall(rs) // want `result of Thread.Waitall discarded`
+	th.Test(r)     // want `result of Thread.Test discarded`
+	_ = th.Wait(r) // want `result of Thread.Wait discarded`
+}
+
+func consumes(th *Thread, r *Request, rs []*Request) error {
+	if err := th.Wait(r); err != nil {
+		return err
+	}
+	for !th.Test(r) {
+	}
+	return th.Waitall(rs)
+}
+
+func otherReceiver(b *Barrier, th *Thread) {
+	b.Wait(th) // not a Thread: fine
+}
+
+func annotated(th *Thread, r *Request) {
+	th.Wait(r) //simcheck:allow errdrop benchmark loop on a fault-free world
+}

@@ -69,6 +69,22 @@ func Probe(id string, o Options, rec *telemetry.Recorder) (string, error) {
 		_, err := workloads.RMA(p)
 		return fmt.Sprintf("rma lock=Mutex op=%v procs=%d ops=%d", op, p.Procs, p.Ops), err
 
+	case id == "recovery":
+		// A mid-run rank crash under the mutex: the trace shows detection,
+		// the revoke flood and the shrink round on the error path.
+		iters := 48
+		if o.Quick {
+			iters = 24
+		}
+		p := workloads.RecoveryParams{
+			Lock: simlock.KindMutex, Procs: 4, ProcsPerNode: 2, Iters: iters,
+			Strategy: workloads.RecoverShrink, Kernel: workloads.KernelRing,
+			Fault: fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 60_000}}},
+			Seed:  o.seed(), MaxWall: recoveryWall, Tel: rec,
+		}
+		_, err := workloads.Recovery(p)
+		return fmt.Sprintf("recovery lock=Mutex strategy=shrink procs=%d crash@60us", p.Procs), err
+
 	case id == "chaos":
 		// The resilience soak's shape: throughput over a lossy network.
 		p := workloads.ThroughputParams{

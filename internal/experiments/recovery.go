@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpicontend/internal/fault"
+	"mpicontend/internal/report"
+	"mpicontend/internal/simlock"
+	"mpicontend/internal/workloads"
+)
+
+func init() {
+	register("recovery", "Rank-failure recovery: detection latency and repair cost", recovery)
+}
+
+// recoveryLocks are the arbitration methods compared: lock choice shapes the
+// error path too, since revoke/shrink/agree traffic funnels through the same
+// progress-engine critical sections as steady-state messaging.
+var recoveryLocks = []simlock.Kind{
+	simlock.KindMutex, simlock.KindTicket, simlock.KindPriority, simlock.KindMCS,
+}
+
+// recoveryScenario is one crash regime of the sweep.
+type recoveryScenario struct {
+	name string
+	fc   fault.Config
+}
+
+// recoveryWall bounds each crashy run's real time so a recovery bug aborts
+// CI instead of hanging it.
+const recoveryWall = 120_000_000_000 // 120 s wall clock
+
+// recoveryScenarios enumerates the crash regimes. Crashes are scheduled in
+// the first half of the run (the workload's drain phase cannot adopt a rank
+// that dies after it has already exited).
+func recoveryScenarios() []recoveryScenario {
+	return []recoveryScenario{
+		{"early", fault.Config{Crashes: []fault.CrashSpec{{Rank: 1, AtNs: 20_000}}}},
+		{"mid", fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 60_000}}}},
+		{"lockhold", fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 60_000, OnLockHold: true}}}},
+		{"node", fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 40_000, Node: true}}}},
+	}
+}
+
+// recoveryRun is one (scenario, lock, strategy) cell.
+type recoveryRun struct {
+	detectNs     int64 // worst heartbeat detection latency
+	recoverNs    int64 // worst per-rank time inside recovery
+	errPathLocks int64 // progress-lock acquisitions on the error path
+}
+
+// recoveryCell runs the fault-tolerant workload under one crash scenario and
+// checks the recovery invariants: survivors finish (no watchdog stall, no
+// hang), the failure was detected, and a same-seed rerun is bit-identical.
+func recoveryCell(o Options, sc recoveryScenario, k simlock.Kind,
+	strat workloads.RecoveryStrategy) (recoveryRun, error) {
+	iters := 48
+	if o.Quick {
+		iters = 24
+	}
+	p := workloads.RecoveryParams{
+		Lock:         k,
+		Procs:        4,
+		ProcsPerNode: 2, // co-locate so node crashes take out two ranks
+		Iters:        iters,
+		Strategy:     strat,
+		Kernel:       workloads.KernelRing,
+		Fault:        sc.fc,
+		Seed:         o.seed(),
+		MaxWall:      recoveryWall,
+	}
+	run := func() (workloads.RecoveryResult, error) {
+		r, err := workloads.Recovery(p)
+		if err != nil {
+			return r, fmt.Errorf("recovery scenario %q lock %v strategy %v: %w",
+				sc.name, k, strat, err)
+		}
+		return r, nil
+	}
+	first, err := run()
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	again, err := run()
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	fs, as := fmt.Sprintf("%+v", first), fmt.Sprintf("%+v", again)
+	if fs != as {
+		return recoveryRun{}, fmt.Errorf(
+			"recovery scenario %q lock %v strategy %v: nondeterministic (%s vs %s)",
+			sc.name, k, strat, fs, as)
+	}
+	if len(first.Recovery.Crashed) == 0 || first.Recovery.DetectNs <= 0 {
+		return recoveryRun{}, fmt.Errorf(
+			"recovery scenario %q lock %v strategy %v: crash not detected: %+v",
+			sc.name, k, strat, first.Recovery)
+	}
+	if first.Recoveries == 0 || first.Net.WatchdogStalls != 0 {
+		return recoveryRun{}, fmt.Errorf(
+			"recovery scenario %q lock %v strategy %v: survivors did not recover: %+v",
+			sc.name, k, strat, first)
+	}
+	return recoveryRun{
+		detectNs:     first.Recovery.DetectNs,
+		recoverNs:    first.RecoverNs,
+		errPathLocks: first.Recovery.ErrPathLocks,
+	}, nil
+}
+
+// recovery sweeps crash scenario x lock x recovery strategy and reports the
+// failure-detection latency, the worst per-rank repair time, and how many
+// progress-lock acquisitions the error path itself cost — the contention
+// question of the paper asked about the recovery path instead of the steady
+// state. The x axis is the scenario ordinal.
+func recovery(o Options, pl *Plan) ([]*report.Table, error) {
+	scenarios := recoveryScenarios()
+	if o.Quick {
+		scenarios = []recoveryScenario{scenarios[1], scenarios[3]} // mid + node
+	}
+	locks := recoveryLocks
+	if o.Quick {
+		locks = []simlock.Kind{simlock.KindMutex, simlock.KindTicket}
+	}
+	axis := "scenario ("
+	for i, sc := range scenarios {
+		if i > 0 {
+			axis += " "
+		}
+		axis += fmt.Sprintf("%d=%s", i+1, sc.name)
+	}
+	axis += ")"
+
+	detect := &report.Table{ID: "recovery-detect", Title: "Failure detection latency",
+		XLabel: axis, YLabel: "ns"}
+	repair := &report.Table{ID: "recovery-repair", Title: "Worst per-rank recovery time",
+		XLabel: axis, YLabel: "ns"}
+	errlocks := &report.Table{ID: "recovery-errlocks", Title: "Error-path lock acquisitions",
+		XLabel: axis, YLabel: "acquisitions"}
+	for _, strat := range []workloads.RecoveryStrategy{workloads.RecoverShrink, workloads.RecoverCheckpoint} {
+		for _, k := range locks {
+			label := fmt.Sprintf("%v/%v", k, strat)
+			ds := detect.AddSeries(label)
+			rs := repair.AddSeries(label)
+			es := errlocks.AddSeries(label)
+			for i, sc := range scenarios {
+				sc, k, strat := sc, k, strat
+				cell := pl.Values(3, func() ([]float64, error) {
+					c, err := recoveryCell(o, sc, k, strat)
+					if err != nil {
+						return nil, err
+					}
+					return []float64{float64(c.detectNs), float64(c.recoverNs),
+						float64(c.errPathLocks)}, nil
+				})
+				x := float64(i + 1)
+				ds.Add(x, cell[0])
+				rs.Add(x, cell[1])
+				es.Add(x, cell[2])
+			}
+		}
+	}
+	return []*report.Table{detect, repair, errlocks}, nil
+}

@@ -50,13 +50,21 @@ const (
 	// Nack is a transport-level fast-retransmit request: the receiver
 	// observed a sequence gap and names the missing sequence number.
 	Nack
+	// Heartbeat is a failure-detector liveness beacon (unreliable; sent
+	// only when a crash schedule is configured).
+	Heartbeat
+	// Revoke propagates a communicator revocation (ULFM-style); Seq
+	// carries the revoked context id. Sent reliably so revocation
+	// survives a lossy network.
+	Revoke
 )
 
 // String names the packet kind; out-of-range values (including negatives)
 // render as PacketKind(n).
 func (k PacketKind) String() string {
 	names := [...]string{"Eager", "RTS", "CTS", "RData", "RMAPut", "RMAGet",
-		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone", "Ack", "Nack"}
+		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone", "Ack", "Nack",
+		"Heartbeat", "Revoke"}
 	if int(k) >= 0 && int(k) < len(names) {
 		return names[k]
 	}
@@ -102,6 +110,7 @@ type Endpoint struct {
 	fab     *Fabric
 	deliver Handler
 	txFree  sim.Time // NIC busy until this time
+	dead    bool     // fail-stop: blackhole all traffic in both directions
 
 	// Stats
 	PacketsSent int64
@@ -132,7 +141,14 @@ func New(eng *sim.Engine, cost machine.CostModel) *Fabric {
 	f := &Fabric{eng: eng, cost: cost}
 	f.deliverFn = func(x interface{}) {
 		p := x.(*Packet)
-		f.eps[p.Dst].deliver(p)
+		dst := f.eps[p.Dst]
+		if dst.dead {
+			// Fail-stop blackhole: a dead process consumes nothing. The
+			// packet is dropped silently (not recycled — under a fault
+			// plane the sender's transport may still reference it).
+			return
+		}
+		dst.deliver(p)
 	}
 	return f
 }
@@ -185,6 +201,15 @@ func (f *Fabric) Attach(id, node int, h Handler) *Endpoint {
 // Endpoint returns the attached endpoint with the given id.
 func (f *Fabric) Endpoint(id int) *Endpoint { return f.eps[id] }
 
+// Kill marks endpoint id fail-stopped: every packet addressed to it is
+// silently dropped at delivery time, and new injections from it are
+// suppressed. Packets already in flight FROM the endpoint still arrive —
+// they were on the wire when the process died.
+func (f *Fabric) Kill(id int) { f.eps[id].dead = true }
+
+// Dead reports whether endpoint id has been killed.
+func (f *Fabric) Dead(id int) bool { return f.eps[id].dead }
+
 // Send injects p from ep. It returns the time at which injection completes
 // (when the local NIC is free again and a send buffer may be reused). The
 // packet is delivered to the destination handler after the path latency.
@@ -194,6 +219,13 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 	f := ep.fab
 	if p.Dst < 0 || p.Dst >= len(f.eps) {
 		panic(fmt.Sprintf("fabric: send to unattached endpoint %d", p.Dst))
+	}
+	if ep.dead {
+		// A fail-stopped process injects nothing: charge no NIC time,
+		// schedule no delivery and no TxDone. Threads of a dead rank may
+		// run a few more instructions before unwinding; their sends must
+		// not reach the network.
+		return f.eng.Now()
 	}
 	dst := f.eps[p.Dst]
 	now := f.eng.Now()

@@ -21,6 +21,26 @@ import (
 	"mpicontend/internal/sim"
 )
 
+// CrashSpec schedules one fail-stop process failure. The crashed rank
+// stops executing, its NIC blackholes all traffic in both directions, and
+// no peer is told — failure is observable only through silence, which the
+// runtime's heartbeat detector turns into ErrProcFailed.
+type CrashSpec struct {
+	// Rank is the world rank to kill.
+	Rank int
+	// AtNs is the simulated time of the failure. With OnLockHold the
+	// crash is deferred to the rank's first runtime critical-section
+	// acquisition at or after AtNs, so the process dies while holding
+	// the lock (the worst case for every arbitration scheme: the CS is
+	// never released and every local waiter is stranded).
+	AtNs int64
+	// OnLockHold defers the crash to the next lock acquisition (above).
+	OnLockHold bool
+	// Node widens the failure domain: every rank placed on the same
+	// node as Rank dies at the same instant (a node power loss).
+	Node bool
+}
+
 // Config describes the fault scenario and the resilience tuning the MPI
 // runtime uses to survive it. The zero value is a perfect network: no
 // faults, no reliability layer, zero overhead.
@@ -58,6 +78,18 @@ type Config struct {
 	PreemptProb float64
 	PreemptNs   int64
 
+	// Crashes schedules fail-stop process failures (rank or node scope).
+	// A non-empty schedule arms the runtime's heartbeat failure detector;
+	// an empty one arms zero timers, keeping fault-free runs
+	// byte-identical.
+	Crashes []CrashSpec
+	// HeartbeatNs is the failure-detector heartbeat period (default
+	// 100µs). Only consulted when Crashes is non-empty.
+	HeartbeatNs int64
+	// HeartbeatMiss is how many consecutive silent periods declare a
+	// peer dead (default 3).
+	HeartbeatMiss int
+
 	// Resilient-transport tuning, consumed by the MPI runtime whenever
 	// the plane is enabled.
 
@@ -87,8 +119,15 @@ type Config struct {
 // both the injection hooks and the runtime's reliability layer.
 func (c Config) Enabled() bool {
 	return c.DropProb > 0 || c.DupProb > 0 || c.DelayProb > 0 ||
-		c.BrownoutPeriodNs > 0 || c.NICStallProb > 0 || c.PreemptProb > 0
+		c.BrownoutPeriodNs > 0 || c.NICStallProb > 0 || c.PreemptProb > 0 ||
+		len(c.Crashes) > 0
 }
+
+// CrashesEnabled reports whether a crash schedule is configured — the
+// gate for the heartbeat detector, liveness tracking and recovery
+// machinery. Distinct from Enabled so lossy-but-crash-free scenarios pay
+// none of the fault-tolerance bookkeeping.
+func (c Config) CrashesEnabled() bool { return len(c.Crashes) > 0 }
 
 // withDefaults fills unset tuning fields.
 func (c Config) withDefaults(worldSeed uint64) Config {
@@ -109,6 +148,14 @@ func (c Config) withDefaults(worldSeed uint64) Config {
 	}
 	if c.RTONs <= 0 {
 		c.RTONs = 50_000
+	}
+	if len(c.Crashes) > 0 {
+		if c.HeartbeatNs <= 0 {
+			c.HeartbeatNs = 100_000
+		}
+		if c.HeartbeatMiss <= 0 {
+			c.HeartbeatMiss = 3
+		}
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 16
@@ -142,6 +189,8 @@ type Stats struct {
 	Preempts   int64
 	// BrownoutSends counts injections that hit a degraded link.
 	BrownoutSends int64
+	// Crashes counts executed fail-stop failures (ranks killed).
+	Crashes int64
 }
 
 // String renders the counters compactly.
@@ -158,6 +207,7 @@ func (s Stats) String() string {
 	add("nicstall", s.NICStalls)
 	add("preempt", s.Preempts)
 	add("brownout", s.BrownoutSends)
+	add("crash", s.Crashes)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -249,6 +299,9 @@ func (pl *Plane) PreemptStall() sim.Time {
 	}
 	return 0
 }
+
+// NoteCrash counts one executed fail-stop failure.
+func (pl *Plane) NoteCrash() { pl.stats.Crashes++ }
 
 // BackoffJitter returns a seeded jitter in [0, max] for retransmit
 // backoff, from a stream independent of the injection decisions.

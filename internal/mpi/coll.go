@@ -165,7 +165,7 @@ func (th *Thread) Alltoall(c *Comm, bytesEach int64, sendbuf []interface{}) []in
 		dst := (me + i) % c.size
 		rs = append(rs, th.Isend(cc, dst, 6000+me, bytesEach, sendbuf[dst]))
 	}
-	th.Waitall(rs)
+	th.Waitall(rs) //simcheck:allow errdrop value collectives have no error path; the handler runs inside Waitall
 	for r := 0; r < c.size; r++ {
 		if r != me {
 			recv[r] = rreqs[r].Data()

@@ -41,6 +41,16 @@ func (c *Comm) Rank(th *Thread) int { return c.rank(th.P.Rank) }
 // Member reports whether the calling thread's process belongs to c.
 func (c *Comm) Member(th *Thread) bool { return c.rank(th.P.Rank) >= 0 }
 
+// WorldRanks returns the communicator's members as world ranks, in
+// comm-rank order (used by recovery code to see who a Shrink excluded).
+func (c *Comm) WorldRanks() []int {
+	out := make([]int, c.size)
+	for i := range out {
+		out[i] = c.world(i)
+	}
+	return out
+}
+
 // collComm returns the shadow communicator used by collective traffic:
 // same group, a reserved context disjoint from every user context.
 func (c *Comm) collComm() *Comm {

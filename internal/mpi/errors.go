@@ -22,6 +22,19 @@ const (
 	// ErrRequest reports an operation on an invalid (already freed)
 	// request (MPI_ERR_REQUEST).
 	ErrRequest
+	// ErrProcFailed reports a peer process declared dead by the failure
+	// detector (ULFM MPI_ERR_PROC_FAILED): the operation can never
+	// complete because its partner fail-stopped.
+	ErrProcFailed
+	// ErrRevoked reports an operation on (or interrupted by) a revoked
+	// communicator (ULFM MPI_ERR_REVOKED).
+	ErrRevoked
+
+	// errcodeEnd marks the end of the error-class enumeration; the
+	// Errcode.String exhaustiveness test walks [0, errcodeEnd) so a new
+	// class cannot silently stringify through the default case. Keep it
+	// last.
+	errcodeEnd
 )
 
 // String names the code like the MPI constants.
@@ -37,6 +50,10 @@ func (e Errcode) String() string {
 		return "MPI_ERR_TRUNCATE"
 	case ErrRequest:
 		return "MPI_ERR_REQUEST"
+	case ErrProcFailed:
+		return "MPI_ERR_PROC_FAILED"
+	case ErrRevoked:
+		return "MPI_ERR_REVOKED"
 	default:
 		return fmt.Sprintf("Errcode(%d)", int(e))
 	}

@@ -101,6 +101,16 @@ func (c *csLock) enter(th *Thread, cl simlock.Class) {
 		c.holdClass = telClass(cl)
 		th.holdUseful = false
 	}
+	if th.errPath {
+		th.P.w.ft.errPathLocks++
+	}
+	if at := th.P.lockCrashAt; at > 0 && th.S.Now() >= at && !th.P.crashed {
+		// Scheduled crash-on-lock-hold (fault.CrashSpec.OnLockHold): the
+		// process dies right here, holding the lock it just won — the
+		// section is never released and every local waiter is stranded.
+		th.P.w.killRank(th.P.Rank)
+		panic(rankCrashed{})
+	}
 	cost := th.cost()
 	if c.ownerValid && c.owner != th.lctx.Place && c.lines > 0 {
 		th.S.Sleep(c.lines * cost.Transfer(c.owner, th.lctx.Place))
@@ -134,6 +144,7 @@ const briefCSWork = 60
 // main-path work split according to the granularity. Callers must pair it
 // with mainEnd.
 func (th *Thread) mainBegin() {
+	th.checkCrashed()
 	th.checkThreadLevel()
 	cost := th.cost()
 	p := th.P
@@ -170,6 +181,7 @@ func (th *Thread) mainEnd() {
 // stateBegin opens a short request-state section (completion checks,
 // frees) without charging main-path work.
 func (th *Thread) stateBegin(cl simlock.Class) {
+	th.checkCrashed()
 	th.checkThreadLevel()
 	p := th.P
 	switch p.w.Cfg.Granularity {
@@ -205,6 +217,7 @@ func (th *Thread) stateEnd(cl simlock.Class) {
 // inside the same critical-section hold where the granularity allows —
 // letting callers check and free requests as MPICH's progress loop does.
 func (th *Thread) progressRound(cl simlock.Class, post func()) {
+	th.checkCrashed()
 	th.checkThreadLevel()
 	defer th.exitThreadLevel()
 	p := th.P

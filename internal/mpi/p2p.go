@@ -22,6 +22,13 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 	}
 	p.outstanding++
 	p.armDeadline(r)
+	if p.ftIssue(r) {
+		// Revoked context or known-dead peer: the request failed at issue
+		// and nothing reaches the wire (fail-fast, ft.go).
+		th.mainEnd()
+		th.telCall("Isend", tel)
+		return r
+	}
 	meta := rtsMeta{src: c.rank(p.Rank), tag: tag, ctx: c.ctx, bytes: bytes}
 	if bytes <= cost.EagerThreshold {
 		pkt := p.w.Fab.AllocPacket()
@@ -64,6 +71,11 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 		comm: c, maxBytes: maxBytes}
 	p.outstanding++
 	p.armDeadline(r)
+	if p.ftIssue(r) {
+		th.mainEnd()
+		th.telCall("Irecv", tel)
+		return r
+	}
 	if e := p.matchUnexpected(th, src, tag, c.ctx); e != nil {
 		th.S.Sleep(cost.UnexpectedMatchOverhead)
 		r.bytes = e.bytes
@@ -269,13 +281,13 @@ func (th *Thread) CancelRecv(r *Request) {
 
 // Send is a blocking send (Isend + Wait).
 func (th *Thread) Send(c *Comm, dst, tag int, bytes int64, payload interface{}) {
-	th.Wait(th.Isend(c, dst, tag, bytes, payload))
+	th.Wait(th.Isend(c, dst, tag, bytes, payload)) //simcheck:allow errdrop blocking Send has no error result; the handler runs inside Wait
 }
 
 // Recv is a blocking receive (Irecv + Wait); it returns the payload.
 func (th *Thread) Recv(c *Comm, src, tag int) interface{} {
 	r := th.Irecv(c, src, tag)
-	th.Wait(r)
+	th.Wait(r) //simcheck:allow errdrop blocking Recv has no error result; the handler runs inside Wait
 	return r.payload
 }
 
@@ -285,6 +297,6 @@ func (th *Thread) Sendrecv(c *Comm, dst, dtag int, bytes int64, payload interfac
 	src, stag int) interface{} {
 	rr := th.Irecv(c, src, stag)
 	sr := th.Isend(c, dst, dtag, bytes, payload)
-	th.Waitall([]*Request{sr, rr})
+	th.Waitall([]*Request{sr, rr}) //simcheck:allow errdrop blocking Sendrecv has no error result; the handler runs inside Waitall
 	return rr.payload
 }

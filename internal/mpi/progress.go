@@ -157,6 +157,20 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 	case fabric.RMAPut, fabric.RMAGet, fabric.RMAGetReply, fabric.RMAAcc, fabric.RMAAck:
 		p.handleRMA(th, pkt)
 
+	case fabric.Revoke:
+		// A peer revoked a communicator (ULFM, ulfm.go). Apply it and
+		// re-flood once, so revocation completes even if the initiator
+		// died mid-broadcast.
+		m := pkt.Meta.(revokeMeta)
+		if p.ft != nil && !p.ft.revoked[m.ctx] {
+			size := len(m.ranks)
+			if m.ranks == nil {
+				size = len(p.w.Procs)
+			}
+			p.applyRevoke(m.ctx, now)
+			p.floodRevoke(m.ctx, m.ranks, size)
+		}
+
 	default:
 		panic(fmt.Sprintf("mpi: unhandled packet kind %v", pkt.Kind))
 	}
@@ -213,6 +227,7 @@ func (p *Proc) matchUnexpected(th *Thread, src, tag, ctx int) *envelope {
 // transfer) does it back off geometrically, keeping simulated spinning
 // cheap without perturbing the contention dynamics under load.
 func (th *Thread) progressYield() {
+	th.checkCrashed()
 	cost := th.cost()
 	p := th.P
 	if p.w.Cfg.SelectiveWakeup && th.pollBackoff > 0 {

@@ -53,6 +53,11 @@ func (th *Thread) rmaOp(kind fabric.PacketKind, win *Win, target int,
 	p.outstanding++
 	win.pending++
 	p.armDeadline(r)
+	if p.ftIssue(r) {
+		th.mainEnd()
+		th.telCall(kind.String(), tel)
+		return r
+	}
 	bytes := int64(0)
 	var data interface{}
 	if kind == fabric.RMAPut || kind == fabric.RMAAcc {

@@ -164,6 +164,17 @@ func (rs *relState) onTimeout(rec *txRecord) {
 	if rec.acked {
 		return
 	}
+	if ft := rs.p.ft; ft != nil && ft.isDead(rec.pkt.Dst) {
+		// Dead-peer check: the destination was declared failed since this
+		// packet went out. Fail fast with ErrProcFailed instead of
+		// retransmitting into the blackhole until retry exhaustion.
+		delete(rs.tx, txKey{rec.pkt.Dst, rec.pkt.Seq})
+		rs.p.w.ft.deadAborts++
+		if rec.owner != nil {
+			rec.owner.fail(ErrProcFailed, rs.p.w.Eng.Now())
+		}
+		return
+	}
 	rec.attempts++
 	if rec.attempts > rs.cfg.MaxRetries {
 		rs.GiveUps++
@@ -407,6 +418,11 @@ func (w *World) startWatchdog(interval sim.Time) {
 	tick = func() {
 		outstanding := 0
 		for _, p := range w.Procs {
+			if p.crashed {
+				// A fail-stopped rank's requests are dead weight, not a
+				// stalled pipeline; survivors' progress is what matters.
+				continue
+			}
 			outstanding += p.outstanding
 		}
 		active := w.deliveredTotal != lastDelivered ||

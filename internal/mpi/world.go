@@ -116,6 +116,8 @@ type World struct {
 	plane      *fault.Plane
 	errhandler Errhandler
 	stallErr   error // set by the progress watchdog
+	// ft is the fault-tolerance plane (nil without a crash schedule).
+	ft *ftWorld
 
 	// Activity counters the watchdog samples.
 	deliveredTotal   int64
@@ -223,6 +225,9 @@ func NewWorld(cfg Config) (*World, error) {
 		if iv := w.plane.Config().WatchdogNs; iv > 0 {
 			w.startWatchdog(iv)
 		}
+		if cfg.Fault.CrashesEnabled() {
+			w.setupFT()
+		}
 	}
 	return w, nil
 }
@@ -299,6 +304,12 @@ type Proc struct {
 	ep      *fabric.Endpoint
 	rel     *relState // reliable transport; nil on a perfect network
 
+	// Fault-tolerance plane (ft.go); all zero without a crash schedule.
+	ft          *ftProc
+	crashed     bool  // fail-stopped: threads unwind at the next checkpoint
+	lockCrashAt int64 // > 0: crash at the first CS acquisition at/after this time
+	liveApp     int   // live application threads (for crash accounting)
+
 	posted []*Request       // posted receive queue
 	unexp  []*envelope      // unexpected message queue
 	cq     []*fabric.Packet // network completion queue
@@ -340,6 +351,14 @@ func (p *Proc) DanglingNow() int { return p.danglingNow }
 // out-of-order arrivals are consumed here at "driver" level; the protocol
 // layer only ever sees each packet once, in per-flow FIFO order.
 func (p *Proc) onPacket(pkt *fabric.Packet) {
+	if p.ft != nil {
+		// Any arrival is proof of life; heartbeats exist only to bound
+		// the silence and are consumed here at driver level.
+		p.ft.lastHeard[pkt.Src] = p.w.Eng.Now()
+		if pkt.Kind == fabric.Heartbeat {
+			return
+		}
+	}
 	if p.rel != nil {
 		released := p.rel.admit(pkt)
 		if len(released) == 0 {
@@ -372,6 +391,10 @@ type Thread struct {
 	// noBackoff pins the progress loop at full spinning speed (async
 	// progress threads never slow down, per MPICH behaviour).
 	noBackoff bool
+	// errPath marks the thread as executing recovery code; lock
+	// acquisitions made while set are counted as error-path traffic
+	// (only ever set when the fault-tolerance plane is armed).
+	errPath bool
 }
 
 // Place returns the core this thread is bound to.
@@ -383,9 +406,17 @@ func (th *Thread) Place() machine.Place { return th.lctx.Place }
 // would otherwise spin forever).
 func (w *World) Spawn(rank int, name string, fn func(th *Thread)) *Thread {
 	w.appThreads++
+	w.Procs[rank].liveApp++
 	return w.spawn(rank, name, func(th *Thread) {
 		fn(th)
+		if th.P.crashed {
+			// killRank already retired this process's threads from the
+			// accounting; a zombie that slept through its own crash (and so
+			// never hit a runtime checkpoint) must not double-decrement.
+			return
+		}
 		w.appThreads--
+		th.P.liveApp--
 		if w.appThreads == 0 {
 			w.Eng.Stop()
 		}
@@ -399,6 +430,16 @@ func (w *World) spawn(rank int, name string, fn func(th *Thread)) *Thread {
 	place := w.Cfg.Topo.Bind(w.Cfg.Binding, p.Node, p.firstCore, p.coreCount, idx)
 	var th *Thread
 	st := w.Eng.Spawn(fmt.Sprintf("%s[r%d.t%d]", name, rank, idx), func(s *sim.Thread) {
+		defer func() {
+			// A fail-stopped process's threads unwind via rankCrashed
+			// (ft.go) and simply stop — killRank already retired them
+			// from the appThreads accounting. Anything else propagates.
+			if r := recover(); r != nil {
+				if _, ok := r.(rankCrashed); !ok {
+					panic(r)
+				}
+			}
+		}()
 		fn(th)
 	})
 	th = &Thread{S: st, P: p, lctx: simlock.Ctx{T: st, Place: place}}

@@ -99,7 +99,7 @@ func Latency(p LatencyParams) (LatencyResult, error) {
 	res.AvgOneWayUs = float64(totalRT) / float64(n) / 2 / 1000
 	res.SimNs = endAt
 	res.Net = w.NetStats()
-	if p.Fault.Enabled() {
+	if p.Fault.Enabled() && !p.Fault.CrashesEnabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("latency(%v,%dB,%dt): %w", p.Lock, p.MsgBytes, p.Threads, err)
 		}

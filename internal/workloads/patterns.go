@@ -159,7 +159,7 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 				for i := 0; i < batch; i++ {
 					rs = append(rs, th.Irecv(c, mpi.AnySource, 0))
 				}
-				th.Waitall(rs)
+				th.Waitall(rs) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Waitall
 				got += batch
 			}
 			stamp(th)
@@ -191,7 +191,7 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 				for i := 0; i < p.Msgs; i++ {
 					r := th.Isend(c, 1, t, p.MsgBytes, nil)
 					th.S.Sleep(p.ComputeNs) // overlapped computation
-					th.Wait(r)
+					th.Wait(r) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Wait
 				}
 				stamp(th)
 			})
@@ -199,7 +199,7 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 				for i := 0; i < p.Msgs; i++ {
 					r := th.Irecv(c, 0, t)
 					th.S.Sleep(p.ComputeNs)
-					th.Wait(r)
+					th.Wait(r) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Wait
 				}
 				stamp(th)
 			})
@@ -215,7 +215,7 @@ func RunPattern(p PatternParams) (PatternResult, error) {
 		res.RateMsgsPerSec = float64(res.Messages) / (float64(endAt) / 1e9)
 	}
 	res.Net = w.NetStats()
-	if p.Fault.Enabled() {
+	if p.Fault.Enabled() && !p.Fault.CrashesEnabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("pattern %v(%v): %w", p.Pattern, p.Lock, err)
 		}

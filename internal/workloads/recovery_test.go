@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicontend/internal/fault"
+	"mpicontend/internal/simlock"
+)
+
+func runRecovery(t *testing.T, p RecoveryParams) RecoveryResult {
+	t.Helper()
+	r, err := Recovery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// crashMid crashes one rank roughly halfway through the iteration count.
+func crashMid(rank int) fault.Config {
+	return fault.Config{Crashes: []fault.CrashSpec{{Rank: rank, AtNs: 60_000}}}
+}
+
+func TestRecoveryCrashFree(t *testing.T) {
+	for _, strat := range []RecoveryStrategy{RecoverShrink, RecoverCheckpoint} {
+		r := runRecovery(t, RecoveryParams{
+			Lock: simlock.KindTicket, Strategy: strat, Iters: 16,
+		})
+		if r.Survivors != 4 {
+			t.Errorf("%v: want 4 survivors, got %d", strat, r.Survivors)
+		}
+		if r.Recoveries != 0 || r.RecoverNs != 0 {
+			t.Errorf("%v: crash-free run entered recovery: %+v", strat, r)
+		}
+		// Full sum over 4 ranks × 16 iters of iter*7 + rank + 1.
+		want := int64(0)
+		for rank := 0; rank < 4; rank++ {
+			for it := 0; it < 16; it++ {
+				want += int64(it)*7 + int64(rank) + 1
+			}
+		}
+		if r.Checksum != want {
+			t.Errorf("%v: checksum %d, want %d", strat, r.Checksum, want)
+		}
+	}
+}
+
+func TestRecoveryShrinkSurvivesCrash(t *testing.T) {
+	for _, kern := range []RecoveryKernel{KernelRing, KernelN2N} {
+		r := runRecovery(t, RecoveryParams{
+			Lock: simlock.KindTicket, Strategy: RecoverShrink, Kernel: kern,
+			Iters: 32, Fault: crashMid(2),
+		})
+		if r.Survivors != 3 {
+			t.Errorf("%v: want 3 survivors, got %d", kern, r.Survivors)
+		}
+		if r.Recoveries == 0 || r.RecoverNs <= 0 {
+			t.Errorf("%v: no recovery recorded: %+v", kern, r)
+		}
+		if r.Recovery.DetectNs <= 0 {
+			t.Errorf("%v: no detection latency: %+v", kern, r.Recovery)
+		}
+		if r.Recovery.Shrinks == 0 || r.Recovery.Revokes == 0 {
+			t.Errorf("%v: recovery primitives unused: %+v", kern, r.Recovery)
+		}
+		if r.Recovery.ErrPathLocks == 0 {
+			t.Errorf("%v: error path acquired no locks: %+v", kern, r.Recovery)
+		}
+	}
+}
+
+func TestRecoveryCheckpointSurvivesCrash(t *testing.T) {
+	for _, kern := range []RecoveryKernel{KernelRing, KernelN2N} {
+		r := runRecovery(t, RecoveryParams{
+			Lock: simlock.KindMutex, Strategy: RecoverCheckpoint, Kernel: kern,
+			Iters: 32, CkptInterval: 8, Fault: crashMid(1),
+		})
+		if r.Survivors != 3 {
+			t.Errorf("%v: want 3 survivors, got %d", kern, r.Survivors)
+		}
+		if r.Recoveries == 0 {
+			t.Errorf("%v: no recovery recorded: %+v", kern, r)
+		}
+		// The checkpoint strategy preserves the dead rank's contributions up
+		// to the rollback line: survivors redo the iterations after it, so
+		// the checksum must cover the survivors' full history plus the dead
+		// rank's checkpointed prefix — always at least the survivors-only
+		// total and strictly less than the loss-free total.
+		survOnly, full := int64(0), int64(0)
+		for rank := 0; rank < 4; rank++ {
+			for it := 0; it < 32; it++ {
+				v := int64(it)*7 + int64(rank) + 1
+				full += v
+				if rank != 1 {
+					survOnly += v
+				}
+			}
+		}
+		if r.Checksum < survOnly || r.Checksum >= full {
+			t.Errorf("%v: checksum %d outside (surv-only %d, full %d)",
+				kern, r.Checksum, survOnly, full)
+		}
+	}
+}
+
+// TestRecoveryDeterministic runs the crashy scenarios twice and demands
+// bit-identical results — the property the recovery experiment's in-cell
+// double run asserts at scale.
+func TestRecoveryDeterministic(t *testing.T) {
+	for _, strat := range []RecoveryStrategy{RecoverShrink, RecoverCheckpoint} {
+		p := RecoveryParams{
+			Lock: simlock.KindPriority, Strategy: strat, Iters: 32,
+			Fault: crashMid(2), Seed: 99,
+		}
+		a := runRecovery(t, p)
+		b := runRecovery(t, p)
+		sa, sb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b)
+		if sa != sb {
+			t.Errorf("%v: nondeterministic:\n  run1: %s\n  run2: %s", strat, sa, sb)
+		}
+	}
+}
+
+// TestRecoveryNodeCrash kills a whole node (both co-located ranks when the
+// topology packs 2 ranks per node) and checks survivors still finish.
+func TestRecoveryNodeCrash(t *testing.T) {
+	r := runRecovery(t, RecoveryParams{
+		Lock: simlock.KindTicket, Strategy: RecoverShrink,
+		Procs: 6, ProcsPerNode: 2, Iters: 24,
+		Fault: fault.Config{Crashes: []fault.CrashSpec{{Rank: 2, AtNs: 50_000, Node: true}}},
+	})
+	if r.Survivors != 4 {
+		t.Errorf("node crash should kill both co-located ranks: %+v", r)
+	}
+	if r.Recovery.DetectNs <= 0 {
+		t.Errorf("no detection latency: %+v", r.Recovery)
+	}
+}

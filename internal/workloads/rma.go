@@ -175,7 +175,7 @@ func RMA(p RMAParams) (RMAResult, error) {
 		res.RateElemPerSec = float64(res.Elements) / (float64(endAt) / 1e9)
 	}
 	res.Net = w.NetStats()
-	if p.Fault.Enabled() {
+	if p.Fault.Enabled() && !p.Fault.CrashesEnabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("rma(%v,%v,%dB): %w", p.Lock, p.Op, p.ElemBytes, err)
 		}

@@ -181,7 +181,7 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 						th.S.Sleep(th.P.Cost().AppPerMessageWork)
 						rs = append(rs, th.Isend(c, recvRank, 0, p.MsgBytes, nil))
 					}
-					th.Waitall(rs)
+					th.Waitall(rs) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Waitall
 				}
 			})
 			w.Spawn(recvRank, "recv", func(th *mpi.Thread) {
@@ -192,7 +192,7 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 						th.S.Sleep(th.P.Cost().AppPerMessageWork)
 						rs = append(rs, th.Irecv(c, sendRank, 0))
 					}
-					th.Waitall(rs)
+					th.Waitall(rs) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Waitall
 					if th.S.Now() > endAt {
 						endAt = th.S.Now()
 					}
@@ -218,7 +218,7 @@ func Throughput(p ThroughputParams) (ThroughputResult, error) {
 		res.UnexpectedHits += pr.UnexpectedHits
 	}
 	res.Net = w.NetStats()
-	if p.Fault.Enabled() {
+	if p.Fault.Enabled() && !p.Fault.CrashesEnabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("throughput(%v,%dB,%dt): %w", p.Lock, p.MsgBytes, p.Threads, err)
 		}

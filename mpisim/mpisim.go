@@ -77,9 +77,41 @@ type FaultConfig struct {
 	// Seed drives the plane's private random streams (0 = derive from
 	// the world seed).
 	Seed uint64
+	// Crashes is the fail-stop schedule: each spec kills one rank (or its
+	// whole node) at a simulated time, turning it into a silent packet
+	// blackhole. A non-empty schedule arms the heartbeat failure detector
+	// and the ULFM-style recovery primitives.
+	Crashes []CrashSpec
+	// HeartbeatNs is the failure-detector heartbeat period (default 100µs);
+	// a peer silent for HeartbeatNs x HeartbeatMiss (default 3) is declared
+	// dead and its pending operations fail with a process-failure error.
+	HeartbeatNs   int64
+	HeartbeatMiss int
+}
+
+// CrashSpec schedules one fail-stop failure.
+type CrashSpec struct {
+	// Rank is the world rank to kill.
+	Rank int
+	// AtNs is the simulated time of death.
+	AtNs int64
+	// OnLockHold delays the crash until the victim next holds a runtime
+	// critical-section lock at or after AtNs — the nastiest spot, since
+	// local waiters are queued behind a corpse.
+	OnLockHold bool
+	// Node kills every rank co-located on the victim's node.
+	Node bool
 }
 
 func (c FaultConfig) config() fault.Config {
+	crashes := make([]fault.CrashSpec, len(c.Crashes))
+	for i, cs := range c.Crashes {
+		crashes[i] = fault.CrashSpec{Rank: cs.Rank, AtNs: cs.AtNs,
+			OnLockHold: cs.OnLockHold, Node: cs.Node}
+	}
+	if len(crashes) == 0 {
+		crashes = nil
+	}
 	return fault.Config{
 		DropProb: c.DropProb, DupProb: c.DupProb,
 		DelayProb: c.DelayProb, DelayMaxNs: c.DelayMaxNs,
@@ -89,7 +121,8 @@ func (c FaultConfig) config() fault.Config {
 		PreemptProb: c.PreemptProb, PreemptNs: c.PreemptNs,
 		RTONs: c.RTONs, MaxRetries: c.MaxRetries,
 		RequestTimeoutNs: c.RequestTimeoutNs, WatchdogNs: c.WatchdogNs,
-		Seed: c.Seed,
+		Seed:    c.Seed,
+		Crashes: crashes, HeartbeatNs: c.HeartbeatNs, HeartbeatMiss: c.HeartbeatMiss,
 	}
 }
 
@@ -651,4 +684,81 @@ func Pattern(c PatternConfig) (PatternResult, error) {
 	}
 	return PatternResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs,
 		Net: netStats(r.Net)}, nil
+}
+
+// RecoveryStrategy selects how survivors continue after a rank failure.
+type RecoveryStrategy int
+
+// Recovery strategies.
+const (
+	// Shrink is shrink-and-redistribute: survivors revoke, shrink to a new
+	// communicator and continue forward with the dead rank's domain share.
+	Shrink RecoveryStrategy = iota
+	// Checkpoint is in-memory checkpoint/restart: survivors roll back to
+	// the newest globally consistent checkpoint line and redo.
+	Checkpoint
+)
+
+// RecoveryConfig parametrizes the fault-tolerant iterative workload.
+type RecoveryConfig struct {
+	Lock Lock
+	// Procs is the rank count (default 4); ProcsPerNode packs ranks onto
+	// nodes (default 1).
+	Procs, ProcsPerNode int
+	// Iters is the per-rank iteration count (default 64).
+	Iters int
+	// Strategy selects the recovery scheme (default Shrink).
+	Strategy RecoveryStrategy
+	// N2N switches the kernel from ring halo exchange to all-to-all.
+	N2N bool
+	// CkptInterval is the checkpoint period in iterations (default 8).
+	CkptInterval int
+	Seed         uint64
+	// Fault carries the crash schedule the workload must survive.
+	Fault FaultConfig
+}
+
+// RecoveryResult reports one fault-tolerant run.
+type RecoveryResult struct {
+	SimNs int64
+	// Survivors is the rank count alive at the end; Checksum is the agreed
+	// final reduction (the determinism witness).
+	Survivors int
+	Checksum  int64
+	// DetectNs is the worst heartbeat detection latency; RecoverNs the
+	// worst per-rank time inside recovery; Recoveries the recovery rounds
+	// entered; ErrPathLocks the progress-lock acquisitions on the error
+	// path.
+	DetectNs, RecoverNs, Recoveries, ErrPathLocks int64
+	// Net holds the resilient-transport counters.
+	Net NetStats
+}
+
+// Recovery runs the fault-tolerant iterative workload: survivors detect the
+// configured crashes, revoke and shrink the communicator (or roll back to a
+// checkpoint) and finish the computation.
+func Recovery(c RecoveryConfig) (RecoveryResult, error) {
+	strat := workloads.RecoverShrink
+	if c.Strategy == Checkpoint {
+		strat = workloads.RecoverCheckpoint
+	}
+	kern := workloads.KernelRing
+	if c.N2N {
+		kern = workloads.KernelN2N
+	}
+	r, err := workloads.Recovery(workloads.RecoveryParams{
+		Lock: c.Lock.kind(), Procs: c.Procs, ProcsPerNode: c.ProcsPerNode,
+		Iters: c.Iters, Strategy: strat, Kernel: kern,
+		CkptInterval: c.CkptInterval, Seed: c.Seed,
+		Fault: c.Fault.config(),
+	})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	return RecoveryResult{
+		SimNs: r.SimNs, Survivors: r.Survivors, Checksum: r.Checksum,
+		DetectNs: r.Recovery.DetectNs, RecoverNs: r.RecoverNs,
+		Recoveries: r.Recoveries, ErrPathLocks: r.Recovery.ErrPathLocks,
+		Net: netStats(r.Net),
+	}, nil
 }
