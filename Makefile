@@ -8,10 +8,11 @@
 #   make trace   record + validate a Perfetto trace of the fig8a probe
 #   make parity  prove -jobs 1 and -jobs 4 stdout are byte-identical
 #   make bench   run the repo benchmarks and emit BENCH_6.json
+#   make simcheck-bench  time the whole-module analysis; fail beyond 60s
 
 GO ?= go
 
-.PHONY: check build vet simcheck test race shuffle soak figures trace parity bench
+.PHONY: check build vet simcheck simcheck-bench test race shuffle soak figures trace parity bench
 
 check: build vet simcheck test
 
@@ -23,6 +24,20 @@ vet:
 
 simcheck:
 	$(GO) run ./cmd/simcheck ./...
+
+# Analysis-latency gate: the interprocedural analyzers (call graph, lock
+# order, hot-path allocation) must stay fast enough to sit in make check.
+# Budget: 60 seconds for the whole module, binary prebuilt so the gate
+# times the analysis, not the compiler.
+simcheck-bench:
+	$(GO) build -o /tmp/simcheck-bench ./cmd/simcheck
+	@start=$$(date +%s); \
+	/tmp/simcheck-bench ./... || exit 1; \
+	end=$$(date +%s); took=$$((end-start)); \
+	echo "simcheck ./... took $${took}s (budget 60s)"; \
+	if [ $$took -gt 60 ]; then \
+		echo "simcheck-bench: FAIL: whole-module analysis exceeded 60s"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

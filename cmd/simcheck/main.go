@@ -7,6 +7,13 @@
 //	go run ./cmd/simcheck ./...          # whole module
 //	go run ./cmd/simcheck ./internal/mpi # one package
 //	go run ./cmd/simcheck -list          # describe the analyzers
+//	go run ./cmd/simcheck -json ./...    # diagnostics as a JSON array
+//	go run ./cmd/simcheck -graph        # lock-order graph as Graphviz DOT
+//
+// The whole module is always loaded and its call graph built, whatever
+// packages are requested, so the interprocedural analyzers (lockorder,
+// hotalloc, the laundering passes) see every cross-package edge; the
+// printed diagnostics are then filtered to the requested packages.
 //
 // Diagnostics print as file:line:col: message [rule]. Suppress a
 // legitimate finding with an annotation on or above the line:
@@ -19,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +35,13 @@ import (
 
 	"mpicontend/internal/analysis"
 	"mpicontend/internal/analysis/all"
+	"mpicontend/internal/analysis/lockorder"
 )
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array (stable order)")
+	graphOut := flag.Bool("graph", false, "print the module lock-order graph as Graphviz DOT and exit")
 	flag.Parse()
 
 	analyzers := all.Analyzers()
@@ -50,41 +61,107 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	dirs, err := resolvePatterns(modRoot, flag.Args())
+	requested, err := resolvePatterns(modRoot, flag.Args())
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var diags []analysis.Diagnostic
-	for _, rel := range dirs {
+	// Load every module package — the call graph must be complete even
+	// when only a subset is requested.
+	allDirs, err := analysis.PackageDirs(modRoot)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var pkgs []*analysis.Package
+	for _, rel := range allDirs {
 		importPath := loader.ModPath
 		if rel != "." {
 			importPath += "/" + filepath.ToSlash(rel)
 		}
-		pkgs, err := loader.LoadDir(filepath.Join(modRoot, rel), importPath)
+		loaded, err := loader.LoadDir(filepath.Join(modRoot, rel), importPath)
 		if err != nil {
 			fatalf("loading %s: %v", importPath, err)
 		}
-		for _, pkg := range pkgs {
-			d, err := analysis.Run(pkg, analyzers)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			diags = append(diags, d...)
-		}
+		pkgs = append(pkgs, loaded...)
 	}
-	analysis.SortDiagnostics(diags)
 
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(modRoot, file); err == nil {
-			file = rel
+	if *graphOut {
+		fmt.Print(lockorder.Dot(analysis.BuildGraph(pkgs)))
+		return
+	}
+
+	diags, err := analysis.RunAll(pkgs, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diags = filterDirs(modRoot, diags, requested)
+
+	if *jsonOut {
+		printJSON(modRoot, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n",
+				relFile(modRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "simcheck: %d diagnostic(s)\n", n)
 		os.Exit(1)
+	}
+}
+
+// filterDirs keeps the diagnostics whose file sits in a requested
+// module-relative directory.
+func filterDirs(modRoot string, diags []analysis.Diagnostic, dirs []string) []analysis.Diagnostic {
+	want := map[string]bool{}
+	for _, d := range dirs {
+		want[d] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		rel, err := filepath.Rel(modRoot, d.Pos.Filename)
+		if err != nil {
+			continue
+		}
+		if want[filepath.Dir(rel)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// relFile renders a diagnostic path relative to the module root.
+func relFile(modRoot, file string) string {
+	if rel, err := filepath.Rel(modRoot, file); err == nil {
+		return rel
+	}
+	return file
+}
+
+// printJSON emits the diagnostics as a JSON array (never null), already
+// in SortDiagnostics order, so identical inputs produce identical bytes.
+func printJSON(modRoot string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    filepath.ToSlash(relFile(modRoot, d.Pos.Filename)),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encoding JSON: %v", err)
 	}
 }
 

@@ -5,6 +5,8 @@ package all
 import (
 	"mpicontend/internal/analysis"
 	"mpicontend/internal/analysis/errdrop"
+	"mpicontend/internal/analysis/hotalloc"
+	"mpicontend/internal/analysis/lockorder"
 	"mpicontend/internal/analysis/lockpair"
 	"mpicontend/internal/analysis/maporder"
 	"mpicontend/internal/analysis/nodeterm"
@@ -16,6 +18,8 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		errdrop.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		lockpair.Analyzer,
 		maporder.Analyzer,
 		nodeterm.Analyzer,

@@ -34,6 +34,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"mpicontend/internal/analysis/callgraph"
 )
 
 // Analyzer is one static check.
@@ -65,8 +67,14 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Graph is the call graph over every package loaded in this run,
+	// with per-function facts; interprocedural analyzers (lockorder,
+	// hotalloc, the taint consumers) walk it across package boundaries.
+	// A node belongs to this pass's package when node.Unit.Pkg == Pkg.
+	Graph *callgraph.Graph
+
 	diags  *[]Diagnostic
-	allows map[*ast.File]*fileAllows
+	allows *AllowIndex
 }
 
 // fileAllows holds the parsed allow directives of one file.
@@ -122,26 +130,45 @@ func parseAllows(fset *token.FileSet, f *ast.File) *fileAllows {
 	return fa
 }
 
-// allowed reports whether a diagnostic of this pass's rule at pos is
-// suppressed by an allow directive.
-func (p *Pass) allowed(pos token.Pos) bool {
-	position := p.Fset.Position(pos)
-	for _, f := range p.Files {
-		if p.Fset.Position(f.Pos()).Filename != position.Filename {
+// AllowIndex caches parsed allow directives per file, for allow checks
+// outside a Pass — interprocedural analyzers consult it when deciding
+// whether to traverse a call edge in a foreign package.
+type AllowIndex struct {
+	fset  *token.FileSet
+	cache map[*ast.File]*fileAllows
+}
+
+// NewAllowIndex returns an empty index over the given file set.
+func NewAllowIndex(fset *token.FileSet) *AllowIndex {
+	return &AllowIndex{fset: fset, cache: map[*ast.File]*fileAllows{}}
+}
+
+// Allowed reports whether an allow directive for rule (or "all") covers
+// pos in one of files.
+func (ai *AllowIndex) Allowed(files []*ast.File, pos token.Pos, rule string) bool {
+	position := ai.fset.Position(pos)
+	for _, f := range files {
+		if ai.fset.Position(f.Pos()).Filename != position.Filename {
 			continue
 		}
-		fa := p.allows[f]
+		fa := ai.cache[f]
 		if fa == nil {
-			fa = parseAllows(p.Fset, f)
-			p.allows[f] = fa
+			fa = parseAllows(ai.fset, f)
+			ai.cache[f] = fa
 		}
-		for _, rule := range []string{p.Analyzer.Name, "all"} {
-			if fa.fileWide[rule] || fa.byLine[position.Line][rule] {
+		for _, r := range []string{rule, "all"} {
+			if fa.fileWide[r] || fa.byLine[position.Line][r] {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// allowed reports whether a diagnostic of this pass's rule at pos is
+// suppressed by an allow directive.
+func (p *Pass) allowed(pos token.Pos) bool {
+	return p.allows.Allowed(p.Files, pos, p.Analyzer.Name)
 }
 
 // Reportf records a diagnostic at pos unless an allow directive covers it.
@@ -156,31 +183,72 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Run applies each applicable analyzer to the loaded package and returns
-// the diagnostics sorted by position.
+// Run applies each applicable analyzer to one loaded package. The call
+// graph the interprocedural analyzers see covers only that package; use
+// RunAll to give them the whole module.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// BuildGraph constructs the call graph + facts layer over the loaded
+// packages, in the deterministic order given.
+func BuildGraph(pkgs []*Package) *callgraph.Graph {
+	if len(pkgs) == 0 {
+		return callgraph.Build(token.NewFileSet(), nil)
+	}
+	units := make([]*callgraph.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &callgraph.Unit{
+			Path:  p.Path,
+			Files: p.Files,
+			Pkg:   p.Types,
+			Info:  p.Info,
+		})
+	}
+	return callgraph.Build(pkgs[0].Fset, units)
+}
+
+// RunAll builds one call graph over every loaded package, then applies
+// each applicable analyzer to each package with that shared graph, and
+// returns the diagnostics sorted by position. Interprocedural analyzers
+// are expected to report only at positions inside the pass's own package,
+// so diagnostics stay deduplicated and allow directives apply where the
+// code is.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		if a.Applies != nil && !a.Applies(pkg.Path) {
-			continue
-		}
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Path:     pkg.Path,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
-			allows:   map[*ast.File]*fileAllows{},
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	if len(pkgs) == 0 {
+		return diags, nil
+	}
+	graph := BuildGraph(pkgs)
+	allows := NewAllowIndex(pkgs[0].Fset)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Graph:    graph,
+				diags:    &diags,
+				allows:   allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
 		}
 	}
 	SortDiagnostics(diags)
 	return diags, nil
 }
+
+// Allows exposes the pass's allow index for analyzers that prune their own
+// traversals (hotalloc skips call edges carrying an allow directive).
+func (p *Pass) Allows() *AllowIndex { return p.allows }
 
 // SortDiagnostics orders diagnostics by file, line, column, rule, message
 // so driver output is stable.

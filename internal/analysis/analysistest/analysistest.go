@@ -34,10 +34,32 @@ type expectation struct {
 	used bool
 }
 
+// Pkg names one testdata package for RunPkgs: its directory (relative to
+// the test's working directory) and the import path it is analyzed under.
+type Pkg struct {
+	Dir        string
+	ImportPath string
+}
+
 // Run analyzes the package in dir (relative to the test's working
 // directory) as if it had the given import path, and checks the
 // diagnostics against the `// want` comments in its files.
 func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	if a.Applies != nil && !a.Applies(importPath) {
+		t.Fatalf("analysistest: analyzer %s does not apply to import path %s", a.Name, importPath)
+	}
+	RunPkgs(t, a, []Pkg{{Dir: dir, ImportPath: importPath}})
+}
+
+// RunPkgs analyzes several testdata packages as one unit — a shared call
+// graph over all of them — so cross-package fact propagation (src/b
+// importing src/a) can be golden-tested. Every package's import path is
+// registered as a loader overlay first, so the packages may import each
+// other by their fake mpicontend/... paths. Packages the analyzer does not
+// apply to still join the graph (they model exempt zones) but report no
+// local diagnostics. `// want` comments are honored in every directory.
+func RunPkgs(t *testing.T, a *analysis.Analyzer, pkgs []Pkg) {
 	t.Helper()
 	modRoot, err := findModRoot()
 	if err != nil {
@@ -47,35 +69,38 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	absDir, err := filepath.Abs(dir)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-	pkgs, err := loader.LoadDir(absDir, importPath)
-	if err != nil {
-		t.Fatalf("analysistest: loading %s: %v", dir, err)
-	}
-	if len(pkgs) == 0 {
-		t.Fatalf("analysistest: no Go files in %s", dir)
-	}
-
-	wants, err := parseWants(absDir)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		if a.Applies != nil && !a.Applies(pkg.Path) {
-			t.Fatalf("analysistest: analyzer %s does not apply to import path %s", a.Name, importPath)
-		}
-		d, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	absDirs := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		abs, err := filepath.Abs(p.Dir)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		diags = append(diags, d...)
+		absDirs[i] = abs
+		loader.AddOverlay(p.ImportPath, abs)
 	}
-	analysis.SortDiagnostics(diags)
+
+	var loaded []*analysis.Package
+	var wants []*expectation
+	for i, p := range pkgs {
+		lp, err := loader.LoadDir(absDirs[i], p.ImportPath)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", p.Dir, err)
+		}
+		if len(lp) == 0 {
+			t.Fatalf("analysistest: no Go files in %s", p.Dir)
+		}
+		loaded = append(loaded, lp...)
+		w, err := parseWants(absDirs[i])
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		wants = append(wants, w...)
+	}
+
+	diags, err := analysis.RunAll(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
 
 	for _, d := range diags {
 		if !consume(wants, d) {

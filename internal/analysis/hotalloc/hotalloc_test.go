@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/hotalloc"
+)
+
+// TestHotalloc runs the analyzer over two testdata packages as one unit:
+// the root lives in src/b and the allocations it reaches live in src/a,
+// so the findings depend on cross-package traversal, and an allow
+// directive on one call edge prunes the subtree behind it.
+func TestHotalloc(t *testing.T) {
+	analysistest.RunPkgs(t, hotalloc.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/a", ImportPath: "mpicontend/tdhotalloc/a"},
+		{Dir: "testdata/src/b", ImportPath: "mpicontend/tdhotalloc/b"},
+	})
+}

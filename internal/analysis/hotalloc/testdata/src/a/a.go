@@ -1,0 +1,27 @@
+// Package a provides helpers whose allocations are only observable
+// through a hot-path root in package b.
+package a
+
+// Format is reached from b.Step, a hotpath root; its concatenation is a
+// cross-package finding anchored here.
+func Format(prefix string, n int) string {
+	return prefix + suffix(n) // want `string concatenation on the hot path \(reachable from //simcheck:hotpath root .*b\.Step\)`
+}
+
+func suffix(n int) string {
+	if n > 0 {
+		return "+"
+	}
+	return "-"
+}
+
+// Slow allocates, but its only inbound edge carries an allow directive,
+// so the traversal never reaches it.
+func Slow() []int {
+	return make([]int, 64)
+}
+
+// Cold allocates and is not reachable from any root: no finding.
+func Cold() map[int]int {
+	return map[int]int{1: 1}
+}

@@ -1,0 +1,27 @@
+// Package b holds the hotpath root for the hotalloc golden tests; the
+// helpers it reaches live in package a.
+package b
+
+import "mpicontend/tdhotalloc/a"
+
+// Step models one turn of the dispatch loop.
+//
+//simcheck:hotpath
+func Step(buf []byte, n int) string {
+	s := a.Format("ev", n)
+	scratch := make([]byte, n) // want `make allocates on the hot path \(reachable from //simcheck:hotpath root .*b\.Step\)`
+	_ = scratch
+	if n < 0 {
+		//simcheck:allow hotalloc cold failure branch, runs once per crash
+		a.Slow()
+	}
+	if len(buf) == 0 {
+		panic("empty buffer: " + s) // panic arguments are exempt
+	}
+	return s
+}
+
+// cold is not a root and not reachable from one: its allocation is fine.
+func cold() []int {
+	return make([]int, 4)
+}

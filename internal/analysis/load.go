@@ -34,9 +34,10 @@ type Loader struct {
 	ModPath string // module path from go.mod (e.g. "mpicontend")
 	ModRoot string // absolute directory containing go.mod
 
-	fset  *token.FileSet
-	std   types.ImporterFrom
-	cache map[string]*types.Package // import-resolution cache (non-test files only)
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*types.Package // import-resolution cache (non-test files only)
+	overlay map[string]string         // import path → directory, for testdata packages
 }
 
 // NewLoader returns a loader for the module rooted at modRoot.
@@ -61,6 +62,16 @@ func NewLoader(modRoot string) (*Loader, error) {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// AddOverlay maps an import path onto a directory outside the module's
+// normal layout, so multi-package testdata (src/b importing src/a under a
+// fake mpicontend/... path) resolves. Register overlays before loading.
+func (l *Loader) AddOverlay(importPath, dir string) {
+	if l.overlay == nil {
+		l.overlay = map[string]string{}
+	}
+	l.overlay[importPath] = dir
+}
 
 // modulePath reads the module path out of modRoot/go.mod.
 func modulePath(modRoot string) (string, error) {
@@ -88,6 +99,21 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if p, ok := l.cache[path]; ok {
 		return p, nil
+	}
+	if dir, ok := l.overlay[path]; ok {
+		files, err := l.parseDir(dir, func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
 	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")

@@ -1,0 +1,342 @@
+// Package lockorder detects static deadlock shapes across the whole
+// module, using the call graph's lock facts: for every function it
+// computes the set of locks held at each lock event (leaf Acquire/Release
+// ops and call edges, in source order, with callee effects lifted into the
+// caller's frame), and from those held sets it reports
+//
+//   - re-acquisition of a lock that is already held — directly or through
+//     a call — since the simlock layer is not reentrant;
+//   - blocking operations (Park, go statements, channel ops, select)
+//     executed or reachable while any lock is held: the simulated runtime
+//     must never block on real concurrency inside a critical section;
+//   - cycles in the module-wide lock-order graph, whose edges "A is held
+//     while B is acquired" are collected over every function. A cycle
+//     means two executions can acquire the same locks in opposite orders
+//     and deadlock, even though each function is locally well-paired.
+//
+// lockorder is interprocedural: it walks the shared call graph and reports
+// only at positions inside the package under analysis, so each finding
+// appears exactly once and allow directives apply where the code is. The
+// lock-order graph itself is exported through Dot for cmd/simcheck -graph.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/callgraph"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "no lock may be re-acquired while held, nothing may block while " +
+		"any lock is held, and the module-wide lock-order graph must be " +
+		"acyclic (consistent acquisition order)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	og := orderOf(g)
+	for _, key := range g.Keys() {
+		n := g.Lookup(key)
+		if n.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		checkNode(pass, g, n)
+	}
+	reportCycles(pass, og)
+	return nil
+}
+
+// step is one lock event of a function together with the locks held just
+// before it.
+type step struct {
+	ev   callgraph.Event
+	held []callgraph.LockID
+}
+
+// checkNode reports re-acquisitions and blocking-while-held inside one
+// function, with callee effects folded in.
+func checkNode(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node) {
+	var steps []step
+	g.WalkHeld(n, func(ev callgraph.Event, held []callgraph.LockID) {
+		steps = append(steps, step{ev, held})
+	})
+
+	for _, s := range steps {
+		switch {
+		case s.ev.Op != nil && s.ev.Op.Acquire:
+			op := s.ev.Op
+			if op.ID == "(unknown)" {
+				continue
+			}
+			for _, h := range s.held {
+				if h == op.ID {
+					pass.Reportf(op.Pos,
+						"acquires %s while already holding it; simlock locks are not reentrant (static self-deadlock)",
+						op.ID)
+				}
+			}
+		case s.ev.Edge != nil && len(s.held) > 0:
+			checkCallWhileHeld(pass, g, s.ev.Edge, s.held)
+		}
+	}
+
+	// Leaf blocking ops while held. Held sets are piecewise-constant
+	// between lock events: the set at a position is the held-before set of
+	// the first event past it, or the function's net-held set after the
+	// last event.
+	if n.Facts == nil || len(n.Facts.Blocks) == 0 {
+		return
+	}
+	final := g.NodeSummary(n, nil).NetHeld
+	heldAt := func(pos token.Pos) []callgraph.LockID {
+		for _, s := range steps {
+			if s.ev.Pos > pos {
+				return s.held
+			}
+		}
+		return final
+	}
+	for _, b := range n.Facts.Blocks {
+		if h := heldAt(b.Pos); len(h) > 0 {
+			pass.Reportf(b.Pos, "%s while holding %s; release before blocking",
+				b.Desc, strings.Join(h, ", "))
+		}
+	}
+}
+
+// checkCallWhileHeld reports what one call edge can do wrong under the
+// given held set: re-acquire a held lock, or reach a blocking operation.
+// Candidate callees are examined in deterministic order; re-acquisitions
+// are deduplicated per lock identity and blocking is reported once per
+// edge (the first blocking candidate witnesses it).
+func checkCallWhileHeld(pass *analysis.Pass, g *callgraph.Graph, e *callgraph.Edge, held []callgraph.LockID) {
+	if !callgraph.FollowForLocks(e) {
+		return
+	}
+	reacq := map[callgraph.LockID]string{} // lock → first callee key
+	var blockKey string
+	var blockW *callgraph.Witness
+	for _, callee := range g.Callees(e) {
+		for _, id := range g.TransAcquires(callee) {
+			lifted := callgraph.Lift(callee, e, id)
+			if lifted == "(unknown)" {
+				continue
+			}
+			for _, h := range held {
+				if h == lifted {
+					if _, seen := reacq[lifted]; !seen {
+						reacq[lifted] = callee.Key
+					}
+				}
+			}
+		}
+		if blockW == nil {
+			if w := g.MayBlock(callee); w != nil {
+				blockKey, blockW = callee.Key, w
+			}
+		}
+	}
+	ids := make([]callgraph.LockID, 0, len(reacq))
+	for id := range reacq {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pass.Reportf(e.Pos,
+			"call to %s may re-acquire %s, which is already held (static self-deadlock)",
+			reacq[id], id)
+	}
+	if blockW != nil {
+		pass.Reportf(e.Pos,
+			"call to %s may block (%s at %s) while holding %s; release before blocking",
+			blockKey, blockW.Op.Desc, position(pass.Fset, blockW.Op.Pos),
+			strings.Join(held, ", "))
+	}
+}
+
+// position renders a short file:line for diagnostics that point into other
+// packages.
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// ---- the module-wide lock-order graph ----
+
+// witnessEdge records where one "from is held while to is acquired"
+// observation was made: the earliest such site wins, for stable reports.
+type witnessEdge struct {
+	pos  token.Pos
+	node *callgraph.Node
+}
+
+// orderGraph is the lock-order relation over canonical lock identities.
+type orderGraph struct {
+	edges map[callgraph.LockID]map[callgraph.LockID]*witnessEdge
+	succ  map[callgraph.LockID][]callgraph.LockID // sorted
+	locks []callgraph.LockID                      // sorted
+}
+
+// orderCache memoizes the order graph per call graph: RunAll invokes the
+// analyzer once per package with the same shared graph, and the relation
+// is a whole-module property.
+var orderCache = map[*callgraph.Graph]*orderGraph{}
+
+// orderOf builds (or returns) the lock-order graph of g.
+func orderOf(g *callgraph.Graph) *orderGraph {
+	if og, ok := orderCache[g]; ok {
+		return og
+	}
+	og := &orderGraph{edges: map[callgraph.LockID]map[callgraph.LockID]*witnessEdge{}}
+	set := map[callgraph.LockID]bool{}
+	add := func(from, to callgraph.LockID, pos token.Pos, n *callgraph.Node) {
+		if from == to || from == "(unknown)" || to == "(unknown)" {
+			return
+		}
+		set[from] = true
+		set[to] = true
+		m := og.edges[from]
+		if m == nil {
+			m = map[callgraph.LockID]*witnessEdge{}
+			og.edges[from] = m
+		}
+		if w, ok := m[to]; !ok || pos < w.pos {
+			m[to] = &witnessEdge{pos, n}
+		}
+	}
+	for _, key := range g.Keys() {
+		n := g.Lookup(key)
+		g.WalkHeld(n, func(ev callgraph.Event, held []callgraph.LockID) {
+			switch {
+			case ev.Op != nil && ev.Op.Acquire:
+				for _, h := range held {
+					add(h, ev.Op.ID, ev.Op.Pos, n)
+				}
+			case ev.Edge != nil && len(held) > 0 && callgraph.FollowForLocks(ev.Edge):
+				for _, callee := range g.Callees(ev.Edge) {
+					for _, id := range g.TransAcquires(callee) {
+						lifted := callgraph.Lift(callee, ev.Edge, id)
+						for _, h := range held {
+							add(h, lifted, ev.Edge.Pos, n)
+						}
+					}
+				}
+			}
+		})
+	}
+	for l := range set {
+		og.locks = append(og.locks, l)
+	}
+	sort.Strings(og.locks)
+	og.succ = map[callgraph.LockID][]callgraph.LockID{}
+	for _, from := range og.locks {
+		for to := range og.edges[from] {
+			og.succ[from] = append(og.succ[from], to)
+		}
+		sort.Strings(og.succ[from])
+	}
+	orderCache[g] = og
+	return og
+}
+
+// cycles returns one shortest cycle per lexically-smallest member lock, so
+// each rotation of the same cycle is reported exactly once. Each cycle is
+// returned as [l0, l1, ..., l0].
+func (og *orderGraph) cycles() [][]callgraph.LockID {
+	var out [][]callgraph.LockID
+	for _, s := range og.locks {
+		path := og.shortestCycle(s)
+		if path == nil {
+			continue
+		}
+		min := s
+		for _, l := range path {
+			if l < min {
+				min = l
+			}
+		}
+		if min != s {
+			continue
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// shortestCycle finds, by BFS over sorted successors, the shortest path
+// from s back to s, or nil.
+func (og *orderGraph) shortestCycle(s callgraph.LockID) []callgraph.LockID {
+	prev := map[callgraph.LockID]callgraph.LockID{}
+	visited := map[callgraph.LockID]bool{s: true}
+	queue := []callgraph.LockID{s}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range og.succ[cur] {
+			if next == s {
+				var chain []callgraph.LockID
+				for c := cur; c != s; c = prev[c] {
+					chain = append(chain, c)
+				}
+				for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+					chain[i], chain[j] = chain[j], chain[i]
+				}
+				path := append([]callgraph.LockID{s}, chain...)
+				return append(path, s)
+			}
+			if !visited[next] {
+				visited[next] = true
+				prev[next] = cur
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// reportCycles reports each lock-order cycle once, anchored at the witness
+// of its first edge; the pass whose package owns that witness reports it.
+func reportCycles(pass *analysis.Pass, og *orderGraph) {
+	for _, cyc := range og.cycles() {
+		w := og.edges[cyc[0]][cyc[1]]
+		if w.node.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		pass.Reportf(w.pos,
+			"lock-order cycle %s; inconsistent acquisition order can deadlock",
+			strings.Join(cyc, " -> "))
+	}
+}
+
+// Dot renders the module's lock-order graph in Graphviz DOT form, one node
+// per canonical lock identity and one edge per observed ordering, labeled
+// with the witness site. Deterministic for identical inputs.
+func Dot(g *callgraph.Graph) string {
+	og := orderOf(g)
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n  rankdir=LR;\n")
+	for _, l := range og.locks {
+		fmt.Fprintf(&b, "  %q;\n", l)
+	}
+	for _, from := range og.locks {
+		for _, to := range og.succ[from] {
+			w := og.edges[from][to]
+			p := g.Fset.Position(w.pos)
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%s:%d\"];\n",
+				from, to, filepath.Base(p.Filename), p.Line)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

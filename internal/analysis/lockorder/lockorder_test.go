@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mpicontend/internal/analysis/analysistest"
+	"mpicontend/internal/analysis/lockorder"
+)
+
+// TestLockorder runs the analyzer over two testdata packages as one unit:
+// src/b imports src/a, so the re-acquire, blocking-while-held, and
+// lock-order-cycle findings all depend on cross-package call summaries.
+func TestLockorder(t *testing.T) {
+	analysistest.RunPkgs(t, lockorder.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/a", ImportPath: "mpicontend/tdlockorder/a"},
+		{Dir: "testdata/src/b", ImportPath: "mpicontend/tdlockorder/b"},
+	})
+}

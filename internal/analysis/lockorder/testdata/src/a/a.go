@@ -1,0 +1,62 @@
+// Package a models a lock-owning type for the lockorder golden tests.
+package a
+
+// Lock is a minimal simlock-shaped lock: methods named exactly Acquire
+// and Release are what the facts layer recognizes as leaf lock ops.
+type Lock struct{ held bool }
+
+func (l *Lock) Acquire() { l.held = true }
+func (l *Lock) Release() { l.held = false }
+
+// Shared owns two locks, so acquisition order between them is observable.
+type Shared struct {
+	A Lock
+	B Lock
+}
+
+// LockA and friends are protocol wrappers used cross-package from src/b;
+// their net lock effect flows through call-edge summaries.
+func (s *Shared) LockA()   { s.A.Acquire() }
+func (s *Shared) UnlockA() { s.A.Release() }
+func (s *Shared) LockB()   { s.B.Acquire() }
+func (s *Shared) UnlockB() { s.B.Release() }
+
+// SelfDeadlock re-acquires a held lock directly.
+func (s *Shared) SelfDeadlock() {
+	s.A.Acquire()
+	s.A.Acquire() // want `acquires .*Shared\)\.A while already holding it`
+	s.A.Release()
+	s.A.Release()
+}
+
+// OrderAB acquires A before B. On its own that is fine; src/b acquires
+// them in the opposite order, closing a module-wide lock-order cycle
+// whose first edge (A -> B) is witnessed here.
+func (s *Shared) OrderAB() {
+	s.A.Acquire()
+	s.B.Acquire() // want `lock-order cycle .*Shared\)\.A -> .*Shared\)\.B -> .*Shared\)\.A`
+	s.B.Release()
+	s.A.Release()
+}
+
+// BlockHeld performs a leaf blocking operation inside the section.
+func (s *Shared) BlockHeld(ch chan int) {
+	s.A.Acquire()
+	ch <- 1 // want `channel send while holding .*Shared\)\.A`
+	s.A.Release()
+}
+
+// Notify blocks on a real channel; it holds nothing itself, but callers
+// holding a lock (src/b) must not reach it.
+func Notify(ch chan int) {
+	ch <- 1
+}
+
+// Balanced is the clean shape: acquire, work, release — no findings.
+func (s *Shared) Balanced() {
+	s.A.Acquire()
+	s.held()
+	s.A.Release()
+}
+
+func (s *Shared) held() {}

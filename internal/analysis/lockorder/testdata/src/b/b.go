@@ -1,0 +1,40 @@
+// Package b exercises lockorder's cross-package reasoning: every lock it
+// touches lives in package a and is reached through a's wrapper methods,
+// so each finding depends on call-edge summaries lifted across the
+// package boundary.
+package b
+
+import "mpicontend/tdlockorder/a"
+
+// OrderBA acquires B before A through a's wrappers, closing the cycle
+// with a.OrderAB (which acquires A before B). The cycle itself is
+// reported at its first edge's witness in package a.
+func OrderBA(s *a.Shared) {
+	s.LockB()
+	s.LockA()
+	s.UnlockA()
+	s.UnlockB()
+}
+
+// Twice re-acquires A through a wrapper while already holding it.
+func Twice(s *a.Shared) {
+	s.LockA()
+	s.LockA() // want `call to .*LockA may re-acquire .*Shared\)\.A, which is already held`
+	s.UnlockA()
+	s.UnlockA()
+}
+
+// BlocksViaCall reaches a channel send in package a while holding A.
+func BlocksViaCall(s *a.Shared, ch chan int) {
+	s.LockA()
+	a.Notify(ch) // want `call to .*Notify may block \(channel send at a\.go:\d+\) while holding .*Shared\)\.A`
+	s.UnlockA()
+}
+
+// Clean uses the wrappers correctly: no findings.
+func Clean(s *a.Shared) {
+	s.LockA()
+	s.UnlockA()
+	s.LockB()
+	s.UnlockB()
+}

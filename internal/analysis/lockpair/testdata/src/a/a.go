@@ -1,6 +1,6 @@
 // Package a is golden-test input for the lockpair analyzer: critical
-// sections must pair acquisitions with releases per function, and nothing
-// may block on real concurrency while a section is held.
+// sections must pair acquisitions with releases on every return path, and
+// nothing may block on real concurrency while a section is held.
 package a
 
 type lock struct{}
@@ -21,7 +21,7 @@ func (parker) Park() {}
 func work() {}
 
 func leaks(l *lock) {
-	l.Acquire() // want `1 Acquire/Release acquisition\(s\) of l but only 0 release\(s\)`
+	l.Acquire() // want `Acquire/Release acquisition of l is not released on the fall-through return path`
 }
 
 func balanced(l *lock) {
@@ -30,9 +30,96 @@ func balanced(l *lock) {
 	work()
 }
 
+// deferredClosure discharges the section through a deferred closure.
+func deferredClosure(l *lock) {
+	l.Acquire()
+	defer func() { l.Release() }()
+	work()
+}
+
+// earlyReturn leaks on the conditional return: the release below never
+// runs on that path.
+func earlyReturn(l *lock, skip bool) {
+	l.Acquire()
+	if skip {
+		return // want `return with Acquire/Release section of l still held`
+	}
+	l.Release()
+}
+
+// deferTooLate registers the deferred release only after the return that
+// leaks, so the early path still escapes with the section held.
+func deferTooLate(l *lock, skip bool) {
+	l.Acquire()
+	if skip {
+		return // want `return with Acquire/Release section of l still held`
+	}
+	defer l.Release()
+	work()
+}
+
+// earlyReturnAfterDefer is clean: the defer precedes every return.
+func earlyReturnAfterDefer(l *lock, skip bool) {
+	l.Acquire()
+	defer l.Release()
+	if skip {
+		return
+	}
+	work()
+}
+
+// branchRelease is clean: both arms release before the join.
+func branchRelease(l *lock, alt bool) {
+	l.Acquire()
+	if alt {
+		l.Release()
+	} else {
+		l.Release()
+	}
+}
+
+// oneArmLeaks releases on one arm only; the join still holds the section.
+func oneArmLeaks(l *lock, alt bool) {
+	l.Acquire() // want `Acquire/Release acquisition of l is not released on the fall-through return path`
+	if alt {
+		l.Release()
+	}
+}
+
+// switchPaths is clean: every case, and the implicit no-match path,
+// balances before the function returns.
+func switchPaths(l *lock, n int) {
+	l.Acquire()
+	defer l.Release()
+	switch n {
+	case 0:
+		work()
+	case 1:
+		return
+	}
+}
+
+// loopBalanced is clean: each iteration opens and closes its own section.
+func loopBalanced(l *lock, n int) {
+	for i := 0; i < n; i++ {
+		l.Acquire()
+		work()
+		l.Release()
+	}
+}
+
+// panicPath is clean: the panicking arm never returns normally.
+func panicPath(l *lock, bad bool) {
+	l.Acquire()
+	if bad {
+		panic("corrupt state")
+	}
+	l.Release()
+}
+
 // doubleEntry leaks one of two acquisitions: still flagged.
 func doubleEntry(l *lock, again bool) {
-	l.Acquire() // want `2 Acquire/Release acquisition\(s\) of l but only 1 release\(s\)`
+	l.Acquire() // want `Acquire/Release acquisition of l is not released on the fall-through return path`
 	if again {
 		l.Acquire()
 	}
@@ -41,7 +128,7 @@ func doubleEntry(l *lock, again bool) {
 
 // mismatched pairs do not cancel: mainBegin cannot be closed by stateEnd.
 func mismatched(r runtime) {
-	r.mainBegin() // want `1 mainBegin/mainEnd acquisition\(s\) of r but only 0 release\(s\)`
+	r.mainBegin() // want `mainBegin/mainEnd acquisition of r is not released on the fall-through return path`
 	r.stateEnd()  // want `stateBegin/stateEnd release of r with no acquisition`
 }
 

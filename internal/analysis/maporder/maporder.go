@@ -4,16 +4,26 @@
 // is a run-to-run divergence waiting to happen, which the chaos
 // experiment's determinism re-run would report as corruption.
 //
-// Two body shapes are recognized as order-independent and allowed
+// Three body shapes are recognized as order-independent and allowed
 // without annotation:
 //
 //   - pure commutative reduction: only ++/--, op= assignments, delete
 //     calls, and if statements wrapping the same;
-//   - collect-then-sort: a single `s = append(s, k)` whose target is
-//     passed to a sort call later in the same function.
+//   - keyed rebuild: `m[k] = expr` where k is the range key and expr has
+//     no observable side effects — each key is written exactly once, so
+//     order cannot matter (expr reading other keys of m is not caught);
+//   - collect-then-sort: a single `s = append(s, k)`, optionally behind
+//     side-effect-free if guards, whose target is passed to a sort call
+//     later in the same function.
 //
 // Everything else must iterate over sorted keys or carry a
 // //simcheck:allow maporder annotation. Test files are skipped.
+//
+// The local check alone can be laundered: checked code calls a helper in
+// the exempt locks/ layer (or in a test file) and the map range happens
+// there. The interprocedural pass walks the module call graph's map-range
+// facts through the exempt zone and reports the call site in checked code
+// that reaches one.
 package maporder
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 
 	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/callgraph"
 )
 
 // Analyzer is the maporder rule.
@@ -64,7 +75,7 @@ func run(pass *analysis.Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if orderIndependent(rs.Body.List) {
+			if orderIndependent(rs.Body.List, keyName(rs)) {
 				return true
 			}
 			if collectThenSort(rs, enclosingBody(stack)) {
@@ -76,12 +87,83 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	reportLaundering(pass)
 	return nil
 }
 
+// exemptZone marks the code outside maporder's local check: the
+// real-threads lock library and test files.
+func exemptZone(g *callgraph.Graph) func(*callgraph.Node) bool {
+	return func(n *callgraph.Node) bool {
+		if analysis.PathHasSegment(n.Unit.Path, "locks") {
+			return true
+		}
+		return strings.HasSuffix(g.Fset.Position(n.Decl.Pos()).Filename, "_test.go")
+	}
+}
+
+// launderCache memoizes the zone witnesses per call graph; RunAll invokes
+// the analyzer once per package with the same shared graph.
+var launderCache = map[*callgraph.Graph]map[*callgraph.Node]*callgraph.Witness{}
+
+// reportLaundering flags calls from checked non-test code into
+// exempt-zone functions that range over a map: the range is invisible to
+// the local check but its iteration order still leaks into the caller.
+func reportLaundering(pass *analysis.Pass) {
+	g := pass.Graph
+	if g == nil {
+		return
+	}
+	wits, ok := launderCache[g]
+	if !ok {
+		wits = g.Witnesses(func(n *callgraph.Node) *callgraph.Op {
+			if n.Facts == nil || len(n.Facts.MapRanges) == 0 {
+				return nil
+			}
+			return &n.Facts.MapRanges[0]
+		}, exemptZone(g))
+		launderCache[g] = wits
+	}
+	for _, key := range g.Keys() {
+		n := g.Lookup(key)
+		if n.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(n.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, e := range n.Edges {
+			if e.Kind == callgraph.EdgeDynamic {
+				continue
+			}
+			for _, callee := range g.Callees(e) {
+				w := wits[callee]
+				if w == nil {
+					continue
+				}
+				p := pass.Fset.Position(w.Op.Pos)
+				pass.Reportf(e.Pos,
+					"call to %s ranges over a map (line %d) in check-exempt code; the nondeterministic order can leak back — sort there, or annotate with //simcheck:allow maporder <reason>",
+					callee.Key, p.Line)
+				break
+			}
+		}
+	}
+}
+
+// keyName returns the name of the range statement's key variable, or ""
+// when there is none (then the keyed-rebuild shape cannot apply).
+func keyName(rs *ast.RangeStmt) string {
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		return id.Name
+	}
+	return ""
+}
+
 // orderIndependent reports whether every statement is a commutative
-// reduction step, so iteration order cannot be observed.
-func orderIndependent(list []ast.Stmt) bool {
+// reduction step (or a keyed rebuild through the range key `key`), so
+// iteration order cannot be observed.
+func orderIndependent(list []ast.Stmt, key string) bool {
 	for _, stmt := range list {
 		switch s := stmt.(type) {
 		case *ast.IncDecStmt:
@@ -91,6 +173,10 @@ func orderIndependent(list []ast.Stmt) bool {
 				token.QUO_ASSIGN, token.REM_ASSIGN, token.AND_ASSIGN,
 				token.OR_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN,
 				token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+			case token.ASSIGN:
+				if !keyedRebuild(s, key) {
+					return false
+				}
 			default:
 				return false
 			}
@@ -106,17 +192,17 @@ func orderIndependent(list []ast.Stmt) bool {
 			if s.Init != nil {
 				return false
 			}
-			if !orderIndependent(s.Body.List) {
+			if !orderIndependent(s.Body.List, key) {
 				return false
 			}
 			switch e := s.Else.(type) {
 			case nil:
 			case *ast.BlockStmt:
-				if !orderIndependent(e.List) {
+				if !orderIndependent(e.List, key) {
 					return false
 				}
 			case *ast.IfStmt:
-				if !orderIndependent([]ast.Stmt{e}) {
+				if !orderIndependent([]ast.Stmt{e}, key) {
 					return false
 				}
 			default:
@@ -133,13 +219,84 @@ func orderIndependent(list []ast.Stmt) bool {
 	return true
 }
 
-// collectThenSort recognizes the `for k := range m { s = append(s, k) }`
-// idiom followed by a sort call on s later in the enclosing function.
-func collectThenSort(rs *ast.RangeStmt, body *ast.BlockStmt) bool {
-	if body == nil || len(rs.Body.List) != 1 {
+// keyedRebuild recognizes `m[k] = expr` where k is the range key: every
+// key is visited exactly once, so the writes commute as long as expr has
+// no observable side effects. Reading other keys of the written map would
+// break this; that is rare enough not to be modeled.
+func keyedRebuild(s *ast.AssignStmt, key string) bool {
+	if key == "" || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
 		return false
 	}
-	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	ix, ok := s.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	if !ok || id.Name != key {
+		return false
+	}
+	return sideEffectFree(s.Rhs[0])
+}
+
+// pureBuiltin lists the builtins sideEffectFree accepts as calls.
+var pureBuiltin = map[string]bool{
+	"append": true, "len": true, "cap": true,
+	"make": true, "new": true, "min": true, "max": true,
+}
+
+// sideEffectFree conservatively reports whether evaluating e cannot have
+// observable effects: no calls except pure builtins and slice/map-type
+// conversions, no channel receives, no function literals.
+func sideEffectFree(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch f := n.Fun.(type) {
+			case *ast.Ident:
+				if !pureBuiltin[f.Name] {
+					ok = false
+				}
+			case *ast.ArrayType, *ast.MapType:
+				// type conversion such as []site(nil): effect-free
+			default:
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = false
+			}
+		case *ast.FuncLit:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// collectThenSort recognizes the `for k := range m { s = append(s, k) }`
+// idiom followed by a sort call on s later in the enclosing function. The
+// append may sit behind side-effect-free if guards (filtered collection):
+// which keys are kept is order-independent, and the sort fixes the order.
+func collectThenSort(rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	stmts := rs.Body.List
+	for len(stmts) == 1 {
+		ifs, ok := stmts[0].(*ast.IfStmt)
+		if !ok {
+			break
+		}
+		if ifs.Init != nil || ifs.Else != nil || !sideEffectFree(ifs.Cond) {
+			return false
+		}
+		stmts = ifs.Body.List
+	}
+	if len(stmts) != 1 {
+		return false
+	}
+	as, ok := stmts[0].(*ast.AssignStmt)
 	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 ||
 		(as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
 		return false

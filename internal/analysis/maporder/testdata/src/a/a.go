@@ -68,6 +68,71 @@ func collectCustom(m map[string]int) []string {
 
 func sortKeys(s []string) { sort.Strings(s) }
 
+// rebuild writes each key exactly once with an effect-free value: the
+// keyed-rebuild shape, order-independent without annotation.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// rebuildGuarded mixes the keyed rebuild with an if guard.
+func rebuildGuarded(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		if len(v) > 0 {
+			out[k] = append([]int(nil), v...)
+		}
+	}
+	return out
+}
+
+// rebuildCall is NOT a keyed rebuild: the right-hand side calls a
+// function, which may observe the iteration order.
+func rebuildCall(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m { // want `range over map m has nondeterministic iteration order`
+		out[k] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// valueIndexed is NOT a keyed rebuild: indexing by the value can collide
+// across keys, and which write lands last depends on iteration order.
+func valueIndexed(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m { // want `range over map m has nondeterministic iteration order`
+		out[v] = k
+	}
+	return out
+}
+
+// collectGuarded filters while collecting; the sort still fixes the order.
+func collectGuarded(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectGuardedEffect is NOT recognized: the guard itself has effects.
+func collectGuardedEffect(m map[string]int, seen func(string) bool) []string {
+	var keys []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		if seen(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func allowed(m map[string]int) {
 	//simcheck:allow maporder testdata exercises the allowlist
 	for k := range m {

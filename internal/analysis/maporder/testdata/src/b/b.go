@@ -1,0 +1,17 @@
+// Package b is checked code calling into the exempt stats layer; the map
+// range it reaches lives entirely in that layer.
+package b
+
+import stats "mpicontend/locks/stats"
+
+func use(m map[int]int) []int {
+	return stats.Keys(m) // want `ranges over a map \(line \d+\) in check-exempt code`
+}
+
+func quiet(m map[int]int) int {
+	return stats.Size(m)
+}
+
+func allowed(m map[int]int) []int {
+	return stats.Keys(m) //simcheck:allow maporder consumer sorts the keys itself
+}

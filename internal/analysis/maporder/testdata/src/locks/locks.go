@@ -1,0 +1,17 @@
+// Package stats models the check-exempt layer for the maporder
+// cross-package golden test: its map ranges are not checked locally, but
+// checked callers must not launder iteration order through it.
+package stats
+
+// Keys collects map keys in iteration order — order-leaking, but exempt
+// from the local check here.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Size touches no map iteration; calling it from checked code is fine.
+func Size(m map[int]int) int { return len(m) }

@@ -13,6 +13,12 @@
 //
 // Legitimate wall-clock uses — the engine's watchdog, harness timing in
 // cmd/ binaries — carry //simcheck:allow nodeterm annotations.
+//
+// The local check alone can be laundered: a checked package calls into
+// the exempt locks/ layer, and the wall-clock read happens there. The
+// interprocedural pass closes that hole by walking the module call graph's
+// wall-clock facts through the exempt zone and reporting the call site in
+// checked code that reaches one.
 package nodeterm
 
 import (
@@ -20,6 +26,7 @@ import (
 	"go/types"
 
 	"mpicontend/internal/analysis"
+	"mpicontend/internal/analysis/callgraph"
 )
 
 // forbiddenTimeFuncs are the package time functions that read or depend on
@@ -78,7 +85,60 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	reportLaundering(pass)
 	return nil
+}
+
+// exemptZone marks the packages outside nodeterm's local check: the
+// real-threads lock library, which legitimately touches the wall clock.
+func exemptZone(n *callgraph.Node) bool {
+	return analysis.PathHasSegment(n.Unit.Path, "locks")
+}
+
+// launderCache memoizes the zone witnesses per call graph; RunAll invokes
+// the analyzer once per package with the same shared graph.
+var launderCache = map[*callgraph.Graph]map[*callgraph.Node]*callgraph.Witness{}
+
+// reportLaundering flags calls from checked code into exempt-zone
+// functions that reach a wall-clock read: the read is invisible to the
+// local check but still breaks seed-determinism of the caller.
+func reportLaundering(pass *analysis.Pass) {
+	g := pass.Graph
+	if g == nil {
+		return
+	}
+	wits, ok := launderCache[g]
+	if !ok {
+		wits = g.Witnesses(func(n *callgraph.Node) *callgraph.Op {
+			if n.Facts == nil || len(n.Facts.Wallclock) == 0 {
+				return nil
+			}
+			return &n.Facts.Wallclock[0]
+		}, exemptZone)
+		launderCache[g] = wits
+	}
+	for _, key := range g.Keys() {
+		n := g.Lookup(key)
+		if n.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		for _, e := range n.Edges {
+			if e.Kind == callgraph.EdgeDynamic {
+				continue
+			}
+			for _, callee := range g.Callees(e) {
+				w := wits[callee]
+				if w == nil {
+					continue
+				}
+				p := pass.Fset.Position(w.Op.Pos)
+				pass.Reportf(e.Pos,
+					"call to %s reaches a wall-clock read (%s at line %d) inside the check-exempt locks layer; thread virtual time through, or annotate with //simcheck:allow nodeterm <reason>",
+					callee.Key, w.Op.Desc, p.Line)
+				break
+			}
+		}
+	}
 }
 
 // importPath unquotes an import spec's path.

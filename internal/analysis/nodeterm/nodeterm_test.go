@@ -12,6 +12,16 @@ func TestGolden(t *testing.T) {
 		"mpicontend/internal/analysis/nodeterm/testdata/src/a")
 }
 
+// TestLaundering checks the cross-package pass: the wall-clock read
+// lives in an exempt locks-layer package, the report lands at the call
+// site in checked code.
+func TestLaundering(t *testing.T) {
+	analysistest.RunPkgs(t, nodeterm.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/locks", ImportPath: "mpicontend/locks/spin"},
+		{Dir: "testdata/src/b", ImportPath: "mpicontend/tdnodeterm/b"},
+	})
+}
+
 func TestDoesNotApplyToLocks(t *testing.T) {
 	if nodeterm.Analyzer.Applies("mpicontend/locks") {
 		t.Errorf("nodeterm must not apply to the real-threads lock library")

@@ -1,0 +1,14 @@
+// Package b is checked simulation code calling into the exempt locks
+// layer; the wall-clock read it reaches lives entirely in that layer.
+package b
+
+import "mpicontend/locks/spin"
+
+func tick() {
+	spin.Backoff() // want `reaches a wall-clock read \(time.Now at line \d+\) inside the check-exempt locks layer`
+	spin.Relax()
+}
+
+func timed() {
+	spin.Backoff() //simcheck:allow nodeterm harness timing measured outside the simulation
+}

@@ -1,0 +1,15 @@
+// Package spin models the check-exempt real-threads lock layer for the
+// nodeterm cross-package golden test: wall-clock reads are legal here,
+// but checked callers must not launder determinism breaks through it.
+package spin
+
+import "time"
+
+// Backoff reads the wall clock; local checking is off in locks/.
+func Backoff() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Relax touches no clock; calling it from checked code is fine.
+func Relax() {}

@@ -68,6 +68,7 @@ func (k PacketKind) String() string {
 	if int(k) >= 0 && int(k) < len(names) {
 		return names[k]
 	}
+	//simcheck:allow hotalloc defensive fallback; unreachable for valid kinds
 	return fmt.Sprintf("PacketKind(%d)", int(k))
 }
 
@@ -163,6 +164,7 @@ func (f *Fabric) AllocPacket() *Packet {
 		*p = Packet{}
 		return p
 	}
+	//simcheck:allow hotalloc pool refill slow path; steady state reuses freed packets
 	return new(Packet)
 }
 

@@ -243,6 +243,7 @@ func (ft *ftProc) sweep(now sim.Time, match func(*Request) bool, code Errcode) {
 			r.fail(code, now)
 			continue
 		}
+		//simcheck:allow hotalloc in-place filter never grows; sweep runs once per failure event
 		kept = append(kept, r)
 	}
 	for i := len(kept); i < len(ft.live); i++ {

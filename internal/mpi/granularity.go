@@ -154,6 +154,9 @@ func (th *Thread) mainBegin() {
 		th.S.Sleep(cost.MainPathWork)
 	case GranBrief:
 		th.S.Sleep(cost.MainPathWork - briefCSWork)
+		// The held-lock walk is flow-insensitive and sees the GranGlobal
+		// arm's enter as still held here; switch cases are exclusive.
+		//simcheck:allow lockorder granularity arms are mutually exclusive; the GranGlobal enter is a different mode
 		p.cs.enter(th, simlock.High)
 		th.S.Sleep(briefCSWork)
 	case GranFine:

@@ -31,6 +31,8 @@ const maxEventsPerPoll = 2
 // completion queue and handles up to maxEventsPerPoll events. Must be
 // called with the process's critical section held; the costs it charges
 // are therefore serialized, which is the contention the paper studies.
+//
+//simcheck:hotpath progress-engine receive path, runs inside the critical section
 func (p *Proc) pollOnce(th *Thread) {
 	cost := th.cost()
 	var pollFrom int64
@@ -98,6 +100,7 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 			// Buffer into the unexpected queue (allocate + temp copy).
 			th.S.Sleep(cost.UnexpectedOverhead + cost.CopyTime(pkt.Bytes))
 			m := pkt.Meta.(rtsMeta)
+			//simcheck:allow hotalloc unexpected-queue state the paper measures; its cost is modeled as UnexpectedOverhead
 			p.unexp = append(p.unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
 				bytes: pkt.Bytes, payload: pkt.Payload,
@@ -123,6 +126,7 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 			}
 			p.send(cts, false, nil)
 		} else {
+			//simcheck:allow hotalloc unexpected-queue state the paper measures; its cost is modeled as UnexpectedOverhead
 			p.unexp = append(p.unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
 				bytes: m.bytes, rndv: true,

@@ -98,6 +98,8 @@ func (r *Request) Data() interface{} { return r.payload }
 
 // markComplete transitions the request to the completed state; it becomes
 // dangling until freed. Must run in engine or CS context.
+//
+//simcheck:hotpath request-completion path, runs once per message
 func (r *Request) markComplete(at sim.Time) {
 	if r.complete {
 		panic("mpi: request completed twice")
@@ -128,6 +130,7 @@ func (r *Request) fail(code Errcode, at sim.Time) {
 	if r.complete || r.freed {
 		return
 	}
+	//simcheck:allow hotalloc error construction runs once per failed request, not per message
 	r.err = &Error{Code: code, Detail: r.describe()}
 	if r.kind == RecvReq {
 		p := r.p

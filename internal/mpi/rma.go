@@ -136,6 +136,7 @@ func (p *Proc) handleRMA(th *Thread, pkt *fabric.Packet) {
 		m := pkt.Meta.(rmaMeta)
 		win := p.w.wins[m.winID]
 		th.S.Sleep(cost.CopyTime(m.count * win.elemSize))
+		//simcheck:allow hotalloc payload buffer handed to the user; its copy cost is modeled above
 		vals := make([]float64, m.count)
 		copy(vals, win.buffers[p.Rank][m.offset:])
 		reply := p.w.Fab.AllocPacket()

@@ -105,6 +105,10 @@ type relState struct {
 	tx      map[txKey]*txRecord
 	rx      map[int]*rxFlow
 
+	// onTimeoutFn is the long-lived retransmit callback passed to
+	// AtTimerArg, so arming a timer allocates no closure per packet.
+	onTimeoutFn func(interface{})
+
 	// Counters (surfaced through World.NetStats).
 	Retransmits     int64
 	FastRetransmits int64
@@ -116,17 +120,21 @@ type relState struct {
 }
 
 func newRelState(p *Proc, plane *fault.Plane) *relState {
-	return &relState{
+	rs := &relState{
 		p: p, plane: plane, cfg: plane.Config(),
 		nextSeq: make(map[int]uint64),
 		tx:      make(map[txKey]*txRecord),
 		rx:      make(map[int]*rxFlow),
 	}
+	rs.onTimeoutFn = func(arg interface{}) { rs.onTimeout(arg.(*txRecord)) }
+	return rs
 }
 
 // send routes a protocol packet through the transport when reliability is
 // on, and straight to the NIC otherwise. owner, when non-nil, is the local
 // request to fail if the transport exhausts its retries.
+//
+//simcheck:hotpath per-packet send path; allocations here scale with message count
 func (p *Proc) send(pkt *fabric.Packet, notifyTx bool, owner *Request) sim.Time {
 	if p.rel == nil {
 		return p.ep.Send(pkt, notifyTx)
@@ -138,6 +146,7 @@ func (rs *relState) send(pkt *fabric.Packet, notifyTx bool, owner *Request) sim.
 	seq := rs.nextSeq[pkt.Dst]
 	rs.nextSeq[pkt.Dst] = seq + 1
 	pkt.Seq, pkt.Rel = seq, true
+	//simcheck:allow hotalloc per-in-flight-packet reliability state, retired on ACK
 	rec := &txRecord{pkt: pkt, owner: owner}
 	rs.tx[txKey{pkt.Dst, seq}] = rec
 	t := rs.p.ep.Send(pkt, notifyTx)
@@ -155,7 +164,7 @@ func (rs *relState) arm(rec *txRecord) {
 	rto := rs.cfg.RTONs << uint(shift)
 	rto += rs.plane.BackoffJitter(rs.cfg.RTONs / 4)
 	eng := rs.p.w.Eng
-	rec.timer = eng.AtTimer(eng.Now()+rto, func() { rs.onTimeout(rec) })
+	rec.timer = eng.AtTimerArg(eng.Now()+rto, rs.onTimeoutFn, rec)
 }
 
 // onTimeout fires when rec's ACK did not arrive in time: retransmit with
@@ -282,6 +291,7 @@ func (rs *relState) ackDelivered(pkt *fabric.Packet) {
 
 func (rs *relState) sendAck(to int, seq uint64) {
 	rs.AcksSent++
+	//simcheck:allow hotalloc reliability-mode traffic is deliberately unpooled: duplicate deliveries share the struct
 	rs.p.ep.Send(&fabric.Packet{
 		Kind: fabric.Ack, Src: rs.p.Rank, Dst: to, Seq: seq,
 	}, false)

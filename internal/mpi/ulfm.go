@@ -118,6 +118,7 @@ func (th *Thread) Failed(c *Comm) []int {
 func (p *Proc) applyRevoke(ctx int, now int64) {
 	p.ft.revoked[ctx] = true
 	p.ft.revoked[collCtx-ctx] = true
+	//simcheck:allow hotalloc revocation path, runs once per revoked context
 	p.ft.sweep(now, func(r *Request) bool {
 		return r.ctx == ctx || r.ctx == collCtx-ctx
 	}, ErrRevoked)

@@ -140,6 +140,18 @@ type Timer struct {
 func (e *Engine) AtTimer(t Time, fn func()) *Timer {
 	ev := e.schedule(t)
 	ev.fn = fn
+	//simcheck:allow hotalloc the cancellable handle is owned by the caller and escapes by design
+	return &Timer{q: &e.q, ev: ev, gen: ev.gen, when: ev.when}
+}
+
+// AtTimerArg schedules fn(arg) at time t and returns a cancellable
+// handle — the closure-free variant of AtTimer (see AtArg): the caller
+// reuses a long-lived fn and passes the operand through arg.
+func (e *Engine) AtTimerArg(t Time, fn func(interface{}), arg interface{}) *Timer {
+	ev := e.schedule(t)
+	ev.argFn = fn
+	ev.arg = arg
+	//simcheck:allow hotalloc the cancellable handle is owned by the caller and escapes by design
 	return &Timer{q: &e.q, ev: ev, gen: ev.gen, when: ev.when}
 }
 
@@ -178,6 +190,8 @@ func (e *Engine) SpawnAt(start Time, name string, fn func(t *Thread)) *Thread {
 }
 
 // dispatch hands the baton to t and waits for it to block or finish.
+//
+//simcheck:hotpath runs once per thread wakeup; stays allocation-free
 func (e *Engine) dispatch(t *Thread) {
 	if t.state == stateDone {
 		return

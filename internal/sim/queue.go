@@ -114,6 +114,7 @@ func (q *eventQueue) newEvent() *event {
 		ev.next = nil
 		return ev
 	}
+	//simcheck:allow hotalloc pool refill slow path; steady state reuses recycled events
 	return &event{}
 }
 
@@ -178,6 +179,8 @@ func (q *eventQueue) insert(ev *event) {
 // pop removes and returns the earliest live event in (when, seq) order,
 // recycling any cancelled events it passes. It returns nil when the queue
 // is empty.
+//
+//simcheck:hotpath every simulated event passes through here; stays allocation-free
 func (q *eventQueue) pop() *event {
 	for {
 		ev := q.popAny()
@@ -307,6 +310,7 @@ func (q *eventQueue) compact() {
 		if ev.cancelled {
 			q.recycle(ev)
 		} else {
+			//simcheck:allow hotalloc in-place filter never grows; compaction is amortized
 			kept = append(kept, ev)
 		}
 	}

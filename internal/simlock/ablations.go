@@ -47,7 +47,12 @@ func (p *PrioMutexLock) Acquire(c *Ctx, cl Class) {
 		delete(p.waitH, c)
 	} else {
 		p.waitL[c] = true
+		// Same shape as PriorityLock.Acquire: the held-lock walk is
+		// flow-insensitive and carries the High arm's b acquisition into
+		// this branch, though the arms are mutually exclusive.
+		//simcheck:allow lockorder High and Low arms are exclusive; b is not held on this path
 		p.l.Acquire(c, Low)
+		//simcheck:allow lockorder High and Low arms are exclusive; b is not held on this path
 		p.b.Acquire(c, Low)
 		delete(p.waitL, c)
 	}

@@ -62,7 +62,12 @@ func (p *PriorityLock) Acquire(c *Ctx, cl Class) {
 		delete(p.waitH, c)
 	} else {
 		p.waitL[c] = true
+		// The held-lock walk is flow-insensitive: it sees the High arm's
+		// ticket_B acquisition as still held here, though the arms are
+		// mutually exclusive. The real orders are H->B and L->B only.
+		//simcheck:allow lockorder High and Low arms are exclusive; ticket_B is not held on this path
 		p.l.Acquire(c, Low)
+		//simcheck:allow lockorder High and Low arms are exclusive; ticket_B is not held on this path
 		p.b.Acquire(c, Low)
 		delete(p.waitL, c)
 	}

@@ -200,6 +200,7 @@ func (r *Recorder) Poll(thread int, start, end int64, handled int) {
 	if r == nil {
 		return
 	}
+	//simcheck:allow hotalloc amortized trace-buffer growth; the recorder is opt-in
 	r.spans = append(r.spans, Span{Kind: SpanPoll, Thread: int32(thread),
 		Lock: -1, Arg: int64(handled), Start: start, End: end})
 	r.touch(end)
@@ -233,6 +234,7 @@ func (r *Recorder) Inject(nic int, kind string, bytes, start, end int64) {
 		return
 	}
 	r.ensureNIC(nic)
+	//simcheck:allow hotalloc amortized trace-buffer growth; the recorder is opt-in
 	r.spans = append(r.spans, Span{Kind: SpanInject, Thread: int32(nic),
 		Lock: -1, Name: kind, Arg: bytes, Start: start, End: end})
 	r.touch(end)
@@ -245,6 +247,7 @@ func (r *Recorder) Flight(src, dst int, kind string, bytes, start, end int64) {
 	}
 	r.ensureNIC(src)
 	r.ensureNIC(dst)
+	//simcheck:allow hotalloc amortized trace-buffer growth; the recorder is opt-in
 	r.spans = append(r.spans, Span{Kind: SpanFlight, Thread: int32(src),
 		Lock: int32(dst), Name: kind, Arg: bytes, Start: start, End: end})
 	r.touch(end)
@@ -261,6 +264,7 @@ func (r *Recorder) Dangling(at, value int64) {
 		r.dangling[n-1].Value = value
 		return
 	}
+	//simcheck:allow hotalloc amortized gauge-sample growth; the recorder is opt-in
 	r.dangling = append(r.dangling, gaugeSample{At: at, Value: value})
 	r.touch(at)
 }
