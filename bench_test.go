@@ -11,6 +11,7 @@ import (
 	"mpicontend/internal/experiments"
 	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/telemetry"
@@ -231,6 +232,34 @@ func BenchmarkChaosSoakMutex(b *testing.B)    { benchChaos(b, simlock.KindMutex)
 func BenchmarkChaosSoakTicket(b *testing.B)   { benchChaos(b, simlock.KindTicket) }
 func BenchmarkChaosSoakPriority(b *testing.B) { benchChaos(b, simlock.KindPriority) }
 func BenchmarkChaosSoakMCS(b *testing.B)      { benchChaos(b, simlock.KindMCS) }
+
+// --- Per-VCI runtime scaling ---
+
+// benchVCI streams the N2N benchmark over the sharded runtime at the
+// given VCI count (one explicitly placed communicator per thread) and
+// reports the message rate: the 1/4/16/64 progression is the vci
+// experiment's fine-grained-resources crossover in benchmark form, under
+// the lock kind the sharding is supposed to make irrelevant.
+func benchVCI(b *testing.B, vcis int) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.N2N(workloads.N2NParams{
+			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
+			Windows: 4, PerThreadTags: true,
+			VCIs: vcis, VCIPolicy: vci.Explicit,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.RateMsgsPerSec
+	}
+	b.ReportMetric(rate, "msgs/s")
+}
+
+func BenchmarkVCIScaling1(b *testing.B)  { benchVCI(b, 1) }
+func BenchmarkVCIScaling4(b *testing.B)  { benchVCI(b, 4) }
+func BenchmarkVCIScaling16(b *testing.B) { benchVCI(b, 16) }
+func BenchmarkVCIScaling64(b *testing.B) { benchVCI(b, 64) }
 
 // --- Rank-failure recovery ---
 

@@ -20,6 +20,17 @@ import (
 // Proc.cs, Proc.queueCS and Proc.nicCS stay separate.
 type LockID = string
 
+// IsIndexed reports whether a lock identity passes through an indexed
+// step — an array or slice of locks, rendered with "[]" by the
+// canonicalizer, like "(mpi.Thread).P.vcis[].cs.lock". Every element of
+// such a family canonicalizes to the one class: the class is kept
+// distinct from every other lock (not collapsed), but its elements are
+// statically indistinguishable (not exploded). Consumers that reason
+// about re-acquisition must treat a same-class pair as two potentially
+// different elements — legal under the module-wide ascending-index
+// acquisition discipline — rather than as a reentrant self-deadlock.
+func IsIndexed(id LockID) bool { return strings.Contains(id, "[]") }
+
 // LockOp is one leaf lock operation: a call to a method named Acquire or
 // Release. Higher-level protocol wrappers (csLock.enter, Thread.mainBegin)
 // are not leaf ops — their effect arrives through call-edge summaries.

@@ -5,7 +5,13 @@
 // caller's frame), and from those held sets it reports
 //
 //   - re-acquisition of a lock that is already held — directly or through
-//     a call — since the simlock layer is not reentrant;
+//     a call — since the simlock layer is not reentrant. Indexed lock
+//     families (an array or slice of locks, canonicalized to one class
+//     like "vcis[].cs.lock") are exempt from this rule only: acquiring
+//     the class twice means taking two different elements in the
+//     module-wide ascending-index order, not re-entering one lock. The
+//     class still participates in the lock-order graph like any other
+//     identity;
 //   - blocking operations (Park, go statements, channel ops, select)
 //     executed or reachable while any lock is held: the simulated runtime
 //     must never block on real concurrency inside a critical section;
@@ -79,6 +85,12 @@ func checkNode(pass *analysis.Pass, g *callgraph.Graph, n *callgraph.Node) {
 			if op.ID == "(unknown)" {
 				continue
 			}
+			// An indexed class (vcis[].cs) names a whole lock family:
+			// re-acquiring the class means acquiring another element in
+			// ascending index order, not re-entering one lock.
+			if callgraph.IsIndexed(op.ID) {
+				continue
+			}
 			for _, h := range s.held {
 				if h == op.ID {
 					pass.Reportf(op.Pos,
@@ -130,7 +142,7 @@ func checkCallWhileHeld(pass *analysis.Pass, g *callgraph.Graph, e *callgraph.Ed
 	for _, callee := range g.Callees(e) {
 		for _, id := range g.TransAcquires(callee) {
 			lifted := callgraph.Lift(callee, e, id)
-			if lifted == "(unknown)" {
+			if lifted == "(unknown)" || callgraph.IsIndexed(lifted) {
 				continue
 			}
 			for _, h := range held {

@@ -16,3 +16,18 @@ func TestLockorder(t *testing.T) {
 		{Dir: "testdata/src/b", ImportPath: "mpicontend/tdlockorder/b"},
 	})
 }
+
+// TestLockorderIndexed covers the indexed lock-class semantics over two
+// packages: src/d drives src/c's sharded owner, whose per-shard locks
+// all canonicalize to the one "Shards[].CS" class. Same-class
+// re-acquisition (ascending-order multi-shard acquisition) must stay
+// silent — directly and through cross-package call summaries — while
+// the class still participates in the lock-order graph: a cycle through
+// it against a scalar lock is reported, and a scalar re-acquire still
+// fires.
+func TestLockorderIndexed(t *testing.T) {
+	analysistest.RunPkgs(t, lockorder.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/c", ImportPath: "mpicontend/tdlockorder/c"},
+		{Dir: "testdata/src/d", ImportPath: "mpicontend/tdlockorder/d"},
+	})
+}

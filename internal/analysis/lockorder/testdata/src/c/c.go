@@ -1,0 +1,62 @@
+// Package c models a sharded lock owner for the indexed-lock golden
+// tests: a slice of shards, each guarding its own critical section with
+// a lock of its own, plus one scalar lock. The canonicalizer renders
+// every element acquisition as the one indexed class
+// "(...Owner).Shards[].CS" — one class per family (not exploded per
+// element), distinct from every other lock (not collapsed).
+package c
+
+// Lock is a minimal simlock-shaped lock: methods named exactly Acquire
+// and Release are what the facts layer recognizes as leaf lock ops.
+type Lock struct{ held bool }
+
+func (l *Lock) Acquire() { l.held = true }
+func (l *Lock) Release() { l.held = false }
+
+// Shard is one slice of the runtime with its own critical section.
+type Shard struct{ CS Lock }
+
+// Owner holds a family of shard locks and one scalar lock.
+type Owner struct {
+	Shards []*Shard
+	Meta   Lock
+}
+
+// LockShard and UnlockShard are the single-shard protocol wrappers used
+// cross-package from src/d; their net effect is the indexed class.
+func (o *Owner) LockShard(v int)   { o.Shards[v].CS.Acquire() }
+func (o *Owner) UnlockShard(v int) { o.Shards[v].CS.Release() }
+
+// LockAll acquires every shard ascending — the module-wide discipline
+// that makes multi-acquire of the family deadlock-free.
+func (o *Owner) LockAll() {
+	for v := range o.Shards {
+		o.Shards[v].CS.Acquire()
+	}
+}
+
+// UnlockAll releases every shard descending.
+func (o *Owner) UnlockAll() {
+	for v := len(o.Shards) - 1; v >= 0; v-- {
+		o.Shards[v].CS.Release()
+	}
+}
+
+// TwoShards acquires two distinct shards back-to-back. Both render as
+// the one indexed class; same-class re-acquisition must NOT be reported
+// as a self-deadlock (it is another element, taken in ascending order).
+func (o *Owner) TwoShards(i, j int) {
+	o.Shards[i].CS.Acquire()
+	o.Shards[j].CS.Acquire()
+	o.Shards[j].CS.Release()
+	o.Shards[i].CS.Release()
+}
+
+// MetaTwice is the scalar control: a non-indexed lock re-acquired while
+// held is still a self-deadlock.
+func (o *Owner) MetaTwice() {
+	o.Meta.Acquire()
+	o.Meta.Acquire() // want `acquires .*Owner\)\.Meta while already holding it`
+	o.Meta.Release()
+	o.Meta.Release()
+}

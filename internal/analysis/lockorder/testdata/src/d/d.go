@@ -1,0 +1,38 @@
+// Package d drives src/c's sharded owner cross-package, so the indexed
+// class flows through call-edge summaries: the wrappers' net lock
+// effects are lifted into this package's frames, where same-class
+// re-acquisition must stay silent while ordering against other locks is
+// still tracked.
+package d
+
+import "mpicontend/tdlockorder/c"
+
+// AllThenOne enters the all-shard section, then the single-shard
+// wrapper. The lifted identity equals the held indexed class — legal
+// under the ascending-order discipline, so no finding.
+func AllThenOne(o *c.Owner, v int) {
+	o.LockAll()
+	o.LockShard(v)
+	o.UnlockShard(v)
+	o.UnlockAll()
+}
+
+// ShardThenMeta acquires a shard, then Meta: the order edge
+// Shards[].CS -> Meta. Fine on its own.
+func ShardThenMeta(o *c.Owner, v int) {
+	o.LockShard(v)
+	o.Meta.Acquire()
+	o.Meta.Release()
+	o.UnlockShard(v)
+}
+
+// MetaThenShard acquires Meta, then a shard through the cross-package
+// wrapper — the opposite order, closing a module-wide cycle through the
+// indexed class. The class is a real lock-order participant (not
+// collapsed into nothing), so the cycle is still a finding.
+func MetaThenShard(o *c.Owner, v int) {
+	o.Meta.Acquire()
+	o.LockShard(v) // want `lock-order cycle .*Owner\)\.Meta -> .*Owner\)\.Shards\[\]\.CS -> .*Owner\)\.Meta`
+	o.UnlockShard(v)
+	o.Meta.Release()
+}

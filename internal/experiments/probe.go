@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mpicontend/internal/fault"
+	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/telemetry"
 	"mpicontend/internal/workloads"
@@ -84,6 +85,20 @@ func Probe(id string, o Options, rec *telemetry.Recorder) (string, error) {
 		}
 		_, err := workloads.Recovery(p)
 		return fmt.Sprintf("recovery lock=Mutex strategy=shrink procs=%d crash@60us", p.Procs), err
+
+	case id == "vci":
+		// The sharded runtime's contended heart: N2N with one explicitly
+		// placed comm per thread over 16 VCIs, where the shard sections
+		// are idle and the trace shows the shared-NIC injection lock as
+		// the remaining hot spot.
+		p := workloads.N2NParams{
+			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
+			Windows: windows, Seed: o.seed(), PerThreadTags: true,
+			VCIs: 16, VCIPolicy: vci.Explicit, Tel: rec,
+		}
+		_, err := workloads.N2N(p)
+		return fmt.Sprintf("n2n lock=Mutex vcis=16 policy=%v threads=%d bytes=%d",
+			vci.Explicit, p.Threads, p.MsgBytes), err
 
 	case id == "chaos":
 		// The resilience soak's shape: throughput over a lossy network.

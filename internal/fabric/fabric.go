@@ -95,6 +95,11 @@ type Packet struct {
 	// transport (ACK expected, retransmitted on timeout, deduplicated at
 	// the receiver).
 	Rel bool
+	// VCI is the virtual communication interface the packet belongs to at
+	// the receiving proc (0 in the unsharded runtime). The fabric never
+	// interprets it — one physical NIC per rank carries all VCIs — but
+	// echoes it on TxDone completions so the sender's shard is credited.
+	VCI int
 
 	// next links the fabric's packet free list while the object is pooled.
 	next *Packet
@@ -283,6 +288,7 @@ func (ep *Endpoint) Send(p *Packet, notifyTx bool) sim.Time {
 	if notifyTx {
 		done := f.AllocPacket()
 		done.Kind, done.Src, done.Dst, done.Handle = TxDone, ep.id, ep.id, p.Handle
+		done.VCI = p.VCI
 		f.eng.AtArg(injectEnd, f.deliverFn, done)
 	}
 	return injectEnd

@@ -52,10 +52,29 @@ func (c *Comm) WorldRanks() []int {
 }
 
 // collComm returns the shadow communicator used by collective traffic:
-// same group, a reserved context disjoint from every user context.
+// same group, a reserved context disjoint from every user context. The
+// shadow inherits the VCI hint so explicitly placed communicators keep
+// their collectives on the same shard.
 func (c *Comm) collComm() *Comm {
-	return &Comm{w: c.w, ctx: collCtx - c.ctx, size: c.size, ranks: c.ranks}
+	return &Comm{w: c.w, ctx: collCtx - c.ctx, size: c.size, ranks: c.ranks,
+		vcihint: c.vcihint}
 }
+
+// SetVCI pins every operation of the communicator to the given VCI under
+// the Explicit mapping policy (an MPICH-style comm info hint). Must be
+// called identically on every member before any traffic; under other
+// policies the hint is ignored. Returns c for chaining.
+func (c *Comm) SetVCI(v int) *Comm {
+	if v < 0 {
+		panic(fmt.Sprintf("mpi: SetVCI(%d): negative VCI", v))
+	}
+	c.vcihint = v + 1
+	return c
+}
+
+// vciHint returns the communicator's explicit VCI, or vci.NoHint (-1) when
+// unset. Stored shifted by one so the zero value means "no hint".
+func (c *Comm) vciHint() int { return c.vcihint - 1 }
 
 // allocCtx hands out a fresh user context id. It must be called by exactly
 // one process per collective (the comm's rank 0), which then broadcasts
@@ -63,6 +82,17 @@ func (c *Comm) collComm() *Comm {
 func (w *World) allocCtx() int {
 	w.nextCtx++
 	return w.nextCtx
+}
+
+// SetupComm returns a duplicate of the world communicator with a fresh
+// matching context, created during world setup before Run. It models a
+// communicator the application dup'ed in its init phase, outside the
+// timed region — the per-thread-communicator pattern the VCI literature
+// recommends — without simulating the setup collective itself. Context
+// ids come from the same counter as Dup/Split, so setup comms and
+// run-time comms never collide.
+func (w *World) SetupComm() *Comm {
+	return &Comm{w: w, ctx: w.allocCtx(), size: len(w.Procs)}
 }
 
 // Dup creates a communicator over the same group with a fresh matching

@@ -294,7 +294,12 @@ func (rs *relState) failPeer(rank int, now sim.Time) {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].seq < keys[j].seq })
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].vci != keys[j].vci {
+			return keys[i].vci < keys[j].vci
+		}
+		return keys[i].seq < keys[j].seq
+	})
 	for _, k := range keys {
 		rec := rs.tx[k]
 		rec.acked = true

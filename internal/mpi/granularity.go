@@ -150,14 +150,14 @@ func (th *Thread) mainBegin() {
 	p := th.P
 	switch p.w.Cfg.Granularity {
 	case GranGlobal:
-		p.cs.enter(th, simlock.High)
+		p.vcis[0].cs.enter(th, simlock.High)
 		th.S.Sleep(cost.MainPathWork)
 	case GranBrief:
 		th.S.Sleep(cost.MainPathWork - briefCSWork)
 		// The held-lock walk is flow-insensitive and sees the GranGlobal
 		// arm's enter as still held here; switch cases are exclusive.
 		//simcheck:allow lockorder granularity arms are mutually exclusive; the GranGlobal enter is a different mode
-		p.cs.enter(th, simlock.High)
+		p.vcis[0].cs.enter(th, simlock.High)
 		th.S.Sleep(briefCSWork)
 	case GranFine:
 		th.S.Sleep(cost.MainPathWork - briefCSWork)
@@ -173,7 +173,7 @@ func (th *Thread) mainEnd() {
 	p := th.P
 	switch p.w.Cfg.Granularity {
 	case GranGlobal, GranBrief:
-		p.cs.exit(th, simlock.High)
+		p.vcis[0].cs.exit(th, simlock.High)
 	case GranFine:
 		p.queueCS.exit(th, simlock.High)
 	case GranLockFree:
@@ -189,7 +189,7 @@ func (th *Thread) stateBegin(cl simlock.Class) {
 	p := th.P
 	switch p.w.Cfg.Granularity {
 	case GranGlobal, GranBrief:
-		p.cs.enter(th, cl)
+		p.vcis[0].cs.enter(th, cl)
 	case GranFine:
 		p.queueCS.enter(th, cl)
 	case GranLockFree:
@@ -202,7 +202,7 @@ func (th *Thread) stateEnd(cl simlock.Class) {
 	p := th.P
 	switch p.w.Cfg.Granularity {
 	case GranGlobal, GranBrief:
-		p.cs.exit(th, cl)
+		p.vcis[0].cs.exit(th, cl)
 	case GranFine:
 		p.queueCS.exit(th, cl)
 	case GranLockFree:
@@ -227,12 +227,12 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 	cost := th.cost()
 	switch p.w.Cfg.Granularity {
 	case GranGlobal, GranBrief:
-		p.cs.enter(th, cl)
+		p.vcis[0].cs.enter(th, cl)
 		p.pollOnce(th)
 		if post != nil {
 			post()
 		}
-		p.cs.exit(th, cl)
+		p.vcis[0].cs.exit(th, cl)
 	case GranFine:
 		p.nicCS.enter(th, cl)
 		var pollFrom int64
@@ -242,9 +242,9 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 		th.S.Sleep(cost.ProgressPollWork)
 		p.Polls++
 		var pkts []*fabric.Packet
-		for len(p.cq) > 0 && len(pkts) < maxEventsPerPoll {
-			pkts = append(pkts, p.cq[0])
-			p.cq = p.cq[1:]
+		for len(p.vcis[0].cq) > 0 && len(pkts) < maxEventsPerPoll {
+			pkts = append(pkts, p.vcis[0].cq[0])
+			p.vcis[0].cq = p.vcis[0].cq[1:]
 		}
 		th.holdUseful = len(pkts) > 0
 		if p.w.tel != nil {
@@ -283,10 +283,10 @@ func (th *Thread) progressRound(cl simlock.Class, post func()) {
 		th.S.Sleep(cost.ProgressPollWork + cost.AtomicOpCost)
 		p.Polls++
 		handled := 0
-		for len(p.cq) > 0 && handled < maxEventsPerPoll {
-			pkt := p.cq[0]
-			p.cq[0] = nil
-			p.cq = p.cq[1:]
+		for len(p.vcis[0].cq) > 0 && handled < maxEventsPerPoll {
+			pkt := p.vcis[0].cq[0]
+			p.vcis[0].cq[0] = nil
+			p.vcis[0].cq = p.vcis[0].cq[1:]
 			th.S.Sleep(cost.ProgressHandleWork + cost.AtomicOpCost)
 			p.handlePacket(th, pkt)
 			if p.rel == nil {

@@ -12,20 +12,21 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 	p := th.P
 	cost := th.cost()
 	worldDst := c.world(dst)
+	v := p.selectVCI(c, tag)
 	tel := th.telStart()
-	th.mainBegin()
-	r := p.w.allocRequest()
+	th.mainBeginVCI(v)
+	r := p.allocReqVCI(v)
 	*r = Request{
 		p: p, kind: SendReq, dst: worldDst, src: p.Rank,
 		tag: tag, ctx: c.ctx, bytes: bytes, payload: payload,
-		comm: c, maxBytes: -1, poolable: p.rel == nil,
+		comm: c, maxBytes: -1, poolable: p.rel == nil, vci: v,
 	}
 	p.outstanding++
 	p.armDeadline(r)
 	if p.ftIssue(r) {
 		// Revoked context or known-dead peer: the request failed at issue
 		// and nothing reaches the wire (fail-fast, ft.go).
-		th.mainEnd()
+		th.mainEndVCI(v)
 		th.telCall("Isend", tel)
 		return r
 	}
@@ -35,17 +36,19 @@ func (th *Thread) Isend(c *Comm, dst, tag int, bytes int64, payload interface{})
 		*pkt = fabric.Packet{
 			Kind: fabric.Eager, Src: p.Rank, Dst: worldDst,
 			Bytes: bytes, Handle: r, Meta: meta, Payload: payload,
+			VCI: v,
 		}
-		p.send(pkt, true, r)
+		p.sendShard(th, pkt, true, r)
 	} else {
 		r.rndv = true
 		pkt := p.w.Fab.AllocPacket()
 		*pkt = fabric.Packet{
 			Kind: fabric.RTS, Src: p.Rank, Dst: worldDst, Handle: r, Meta: meta,
+			VCI: v,
 		}
-		p.send(pkt, false, r)
+		p.sendShard(th, pkt, false, r)
 	}
-	th.mainEnd()
+	th.mainEndVCI(v)
 	th.telCall("Isend", tel)
 	return r
 }
@@ -63,20 +66,26 @@ func (th *Thread) Irecv(c *Comm, src, tag int) *Request {
 // maxBytes < 0 means unbounded.
 func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 	p := th.P
+	if p.vciWildcard(tag) {
+		// AnyTag under a tag-hashed mapping cannot name one shard: take
+		// the deterministic cross-VCI wildcard path.
+		return th.irecvWild(c, src, tag, maxBytes)
+	}
 	cost := th.cost()
+	v := p.selectVCI(c, tag)
 	tel := th.telStart()
-	th.mainBegin()
-	r := p.w.allocRequest()
+	th.mainBeginVCI(v)
+	r := p.allocReqVCI(v)
 	*r = Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
-		comm: c, maxBytes: maxBytes}
+		comm: c, maxBytes: maxBytes, vci: v}
 	p.outstanding++
 	p.armDeadline(r)
 	if p.ftIssue(r) {
-		th.mainEnd()
+		th.mainEndVCI(v)
 		th.telCall("Irecv", tel)
 		return r
 	}
-	if e := p.matchUnexpected(th, src, tag, c.ctx); e != nil {
+	if e := p.matchUnexpectedShard(th, v, src, tag, c.ctx); e != nil {
 		th.S.Sleep(cost.UnexpectedMatchOverhead)
 		r.bytes = e.bytes
 		truncated := maxBytes >= 0 && e.bytes > maxBytes
@@ -91,8 +100,9 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 			*pkt = fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: e.src,
 				Handle: e.senderReq, Meta: ctsMeta{recvReq: r},
+				VCI: e.vci,
 			}
-			p.send(pkt, false, nil)
+			p.sendShard(th, pkt, false, nil)
 		} else if truncated {
 			r.fail(ErrTruncate, th.S.Now())
 		} else {
@@ -101,9 +111,88 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 			r.markComplete(th.S.Now())
 		}
 	} else {
-		p.posted = append(p.posted, r)
+		p.vcis[v].posted = append(p.vcis[v].posted, r)
 	}
-	th.mainEnd()
+	th.mainEndVCI(v)
+	th.telCall("Irecv", tel)
+	return r
+}
+
+// irecvWild posts a cross-VCI wildcard receive: the request is posted on
+// every shard's queue under all shard locks (ascending order), after a
+// deterministic earliest-arrival scan of every shard's unexpected queue.
+// The request object comes from the world pool and — receives are never
+// recycled — provably outlives its tombstone copies on unmatched shards.
+func (th *Thread) irecvWild(c *Comm, src, tag int, maxBytes int64) *Request {
+	p := th.P
+	cost := th.cost()
+	tel := th.telStart()
+	th.wildBegin()
+	r := p.w.allocRequest()
+	*r = Request{p: p, kind: RecvReq, src: src, tag: tag, ctx: c.ctx,
+		comm: c, maxBytes: maxBytes, vci: -1, wild: true}
+	p.outstanding++
+	p.armDeadline(r)
+	if p.ftIssue(r) {
+		th.wildEnd()
+		th.telCall("Irecv", tel)
+		return r
+	}
+	// Earliest matching arrival across all shards wins (virtual arrival
+	// time, shard index breaking ties) — the same total order a single
+	// unexpected queue would have produced. Within one shard the queue is
+	// arrival-ordered, so its first match is its earliest.
+	bestShard, bestIdx := -1, -1
+	for v, sh := range p.vcis {
+		for i, e := range sh.unexp {
+			if e.matches(src, tag, c.ctx) {
+				if bestShard < 0 || e.arrivedAt < p.vcis[bestShard].unexp[bestIdx].arrivedAt {
+					bestShard, bestIdx = v, i
+				}
+				break
+			}
+		}
+		th.S.Sleep(cost.QueueSearchPerItem * int64(len(sh.unexp)+1))
+	}
+	if bestShard >= 0 {
+		sh := p.vcis[bestShard]
+		e := sh.unexp[bestIdx]
+		sh.unexp = append(sh.unexp[:bestIdx], sh.unexp[bestIdx+1:]...)
+		p.UnexpectedHits++
+		if p.w.tel != nil {
+			p.w.tel.Unexpected(th.S.Now() - e.arrivedAt)
+		}
+		r.vci = bestShard
+		th.S.Sleep(cost.UnexpectedMatchOverhead)
+		r.bytes = e.bytes
+		truncated := maxBytes >= 0 && e.bytes > maxBytes
+		if e.rndv {
+			if truncated {
+				r.fail(ErrTruncate, th.S.Now())
+			}
+			pkt := p.w.Fab.AllocPacket()
+			*pkt = fabric.Packet{
+				Kind: fabric.CTS, Src: p.Rank, Dst: e.src,
+				Handle: e.senderReq, Meta: ctsMeta{recvReq: r},
+				VCI: e.vci,
+			}
+			p.sendShard(th, pkt, false, nil)
+		} else if truncated {
+			r.fail(ErrTruncate, th.S.Now())
+		} else {
+			th.S.Sleep(cost.CopyTime(e.bytes))
+			r.payload = e.payload
+			r.markComplete(th.S.Now())
+		}
+	} else {
+		// No arrival yet: cross-post to every shard so whichever shard the
+		// message lands on can match it; the other copies become
+		// tombstones once bound.
+		for _, sh := range p.vcis {
+			sh.posted = append(sh.posted, r)
+		}
+	}
+	th.wildEnd()
 	th.telCall("Irecv", tel)
 	return r
 }
@@ -116,6 +205,9 @@ func (th *Thread) IrecvN(c *Comm, src, tag int, maxBytes int64) *Request {
 func (th *Thread) Wait(r *Request) error {
 	if r.freed {
 		return r.raiseAs(ErrRequest)
+	}
+	if th.P.numVCI() > 1 {
+		return th.waitVCI(r)
 	}
 	cost := th.cost()
 	tel := th.telStart()
@@ -146,6 +238,50 @@ func (th *Thread) Wait(r *Request) error {
 	}
 }
 
+// waitVCI is Wait on a sharded runtime: the progress loop drives only the
+// shard(s) the request can complete on — its own VCI, or every VCI while a
+// wildcard is still unbound (re-read each round; a bind narrows the loop).
+func (th *Thread) waitVCI(r *Request) error {
+	cost := th.cost()
+	tel := th.telStart()
+	v0 := r.vci
+	if v0 < 0 {
+		v0 = 0
+	}
+	th.stateBeginVCI(v0, simlock.High)
+	if r.complete {
+		th.S.Sleep(cost.RequestFreeWork)
+		r.free()
+		th.stateEndVCI(v0, simlock.High)
+		th.telCall("Wait", tel)
+		return r.release()
+	}
+	th.stateEndVCI(v0, simlock.High)
+	th.pollBackoff = 0
+	done := false
+	check := func() {
+		if r.complete {
+			th.S.Sleep(cost.RequestFreeWork)
+			r.free()
+			done = true
+		}
+	}
+	for {
+		if v := r.vci; v >= 0 {
+			th.progressRoundVCI(v, simlock.Low, check)
+		} else {
+			for v := 0; v < th.P.numVCI() && !done; v++ {
+				th.progressRoundVCI(v, simlock.Low, check)
+			}
+		}
+		if done {
+			th.telCall("Wait", tel)
+			return r.release()
+		}
+		th.progressYield()
+	}
+}
+
 // Waitall blocks until every request completes. Requests are freed as their
 // completion is detected, so a starving caller leaves its completed
 // requests dangling — the §4.4 effect. It returns the first request error
@@ -154,6 +290,9 @@ func (th *Thread) Wait(r *Request) error {
 func (th *Thread) Waitall(rs []*Request) error {
 	if len(rs) == 0 {
 		return nil
+	}
+	if th.P.numVCI() > 1 {
+		return th.waitallVCI(rs)
 	}
 	cost := th.cost()
 	remaining := len(rs)
@@ -198,6 +337,73 @@ func (th *Thread) Waitall(rs []*Request) error {
 	}
 }
 
+// waitallVCI is Waitall on a sharded runtime: each round polls only the
+// shards that still have a pending request on them.
+func (th *Thread) waitallVCI(rs []*Request) error {
+	cost := th.cost()
+	remaining := len(rs)
+	pending := make([]*Request, len(rs))
+	copy(pending, rs)
+	var firstErr error
+
+	reap := func() {
+		for i := 0; i < len(pending); {
+			if pending[i].complete {
+				th.S.Sleep(cost.RequestFreeWork)
+				r := pending[i]
+				r.free()
+				if err := r.release(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				remaining--
+			} else {
+				i++
+			}
+		}
+	}
+
+	tel := th.telStart()
+	th.sweepDone(pending, func(_ int, r *Request) {
+		th.S.Sleep(cost.RequestFreeWork)
+		r.free()
+		for i, q := range pending {
+			if q == r {
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				break
+			}
+		}
+		remaining--
+		if err := r.release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	if remaining == 0 {
+		th.telCall("Waitall", tel)
+		return firstErr
+	}
+	th.pollBackoff = 0
+	shards := make(shardSet, th.P.numVCI())
+	for {
+		if !shards.gather(pending) {
+			shards[0] = true
+		}
+		for v := range shards {
+			if !shards[v] {
+				continue
+			}
+			th.progressRoundVCI(v, simlock.Low, reap)
+			if remaining == 0 {
+				th.telCall("Waitall", tel)
+				return firstErr
+			}
+		}
+		th.progressYield()
+	}
+}
+
 // Test polls the runtime once and reports whether the request completed;
 // if so, the request is freed. Test never enters the blocking progress
 // loop, so under the priority lock it always runs at high priority — the
@@ -206,13 +412,24 @@ func (th *Thread) Test(r *Request) bool {
 	cost := th.cost()
 	tel := th.telStart()
 	done := false
-	th.progressRound(simlock.High, func() {
+	check := func() {
 		if r.complete {
 			th.S.Sleep(cost.RequestFreeWork)
 			r.free()
 			done = true
 		}
-	})
+	}
+	if th.P.numVCI() > 1 {
+		if v := r.vci; v >= 0 {
+			th.progressRoundVCI(v, simlock.High, check)
+		} else {
+			for v := 0; v < th.P.numVCI() && !done; v++ {
+				th.progressRoundVCI(v, simlock.High, check)
+			}
+		}
+	} else {
+		th.progressRound(simlock.High, check)
+	}
 	th.telCall("Test", tel)
 	if done {
 		// Run the error handler (panic under MPI_ERRORS_ARE_FATAL);
@@ -228,7 +445,7 @@ func (th *Thread) Testall(rs []*Request) []*Request {
 	cost := th.cost()
 	var out []*Request
 	var failed []*Request
-	th.progressRound(simlock.High, func() {
+	reap := func() {
 		out = rs[:0]
 		for _, r := range rs {
 			if r.complete {
@@ -241,7 +458,35 @@ func (th *Thread) Testall(rs []*Request) []*Request {
 				out = append(out, r)
 			}
 		}
-	})
+	}
+	if th.P.numVCI() > 1 {
+		// Poll each shard with pending work, then reap the completed
+		// requests shard by shard under their own state sections.
+		shards := make(shardSet, th.P.numVCI())
+		if !shards.gather(rs) {
+			shards[0] = true
+		}
+		for v := range shards {
+			if shards[v] {
+				th.progressRoundVCI(v, simlock.High, nil)
+			}
+		}
+		th.sweepDone(rs, func(_ int, r *Request) {
+			th.S.Sleep(cost.RequestFreeWork)
+			r.free()
+			if r.err != nil {
+				failed = append(failed, r)
+			}
+		})
+		out = rs[:0]
+		for _, r := range rs {
+			if !r.freed {
+				out = append(out, r)
+			}
+		}
+	} else {
+		th.progressRound(simlock.High, reap)
+	}
 	for _, r := range failed {
 		_ = r.raise()
 	}
@@ -258,15 +503,45 @@ func (th *Thread) CancelRecv(r *Request) {
 	}
 	p := th.P
 	cost := th.cost()
-	th.stateBegin(simlock.High)
+	if p.numVCI() > 1 && r.wild && r.vci < 0 {
+		// Unbound wildcard: withdraw every cross-posted copy under all
+		// shard locks.
+		th.wildBegin()
+		th.S.Sleep(cost.RequestFreeWork)
+		if r.complete {
+			th.wildEnd()
+			panic("mpi: CancelRecv on a completed request")
+		}
+		for _, sh := range p.vcis {
+			for i, q := range sh.posted {
+				if q == r {
+					sh.posted = append(sh.posted[:i], sh.posted[i+1:]...)
+					break
+				}
+			}
+		}
+		if r.deadline != nil {
+			r.deadline.Cancel()
+			r.deadline = nil
+		}
+		r.freed = true
+		p.outstanding--
+		th.wildEnd()
+		return
+	}
+	v := r.vci
+	if v < 0 {
+		v = 0
+	}
+	th.stateBeginVCI(v, simlock.High)
 	th.S.Sleep(cost.RequestFreeWork)
 	if r.complete {
-		th.stateEnd(simlock.High)
+		th.stateEndVCI(v, simlock.High)
 		panic("mpi: CancelRecv on a completed request")
 	}
-	for i, q := range p.posted {
+	for i, q := range p.vcis[v].posted {
 		if q == r {
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			p.vcis[v].posted = append(p.vcis[v].posted[:i], p.vcis[v].posted[i+1:]...)
 			break
 		}
 	}
@@ -276,7 +551,7 @@ func (th *Thread) CancelRecv(r *Request) {
 	}
 	r.freed = true
 	p.outstanding--
-	th.stateEnd(simlock.High)
+	th.stateEndVCI(v, simlock.High)
 }
 
 // Send is a blocking send (Isend + Wait).

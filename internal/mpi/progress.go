@@ -27,14 +27,23 @@ type ctsMeta struct {
 // lock-cycling dynamics the paper studies.
 const maxEventsPerPoll = 2
 
-// pollOnce runs one iteration of the progress engine: it polls the network
-// completion queue and handles up to maxEventsPerPoll events. Must be
-// called with the process's critical section held; the costs it charges
-// are therefore serialized, which is the contention the paper studies.
+// pollOnce runs one iteration of the progress engine on VCI 0 — the whole
+// engine in the unsharded runtime. Must be called with the process's
+// critical section held.
 //
 //simcheck:hotpath progress-engine receive path, runs inside the critical section
-func (p *Proc) pollOnce(th *Thread) {
+func (p *Proc) pollOnce(th *Thread) { p.pollShard(th, 0) }
+
+// pollShard runs one progress iteration on shard v: it polls the shard's
+// network completion queue and handles up to maxEventsPerPoll events. Must
+// be called with shard v's critical section held; the costs it charges are
+// therefore serialized per shard, which is the contention the paper
+// studies (and the sharding removes).
+//
+//simcheck:hotpath progress-engine receive path, runs inside the critical section
+func (p *Proc) pollShard(th *Thread, v int) {
 	cost := th.cost()
+	sh := p.vcis[v]
 	var pollFrom int64
 	if p.w.tel != nil {
 		pollFrom = th.S.Now()
@@ -42,10 +51,10 @@ func (p *Proc) pollOnce(th *Thread) {
 	th.S.Sleep(cost.ProgressPollWork)
 	p.Polls++
 	handled := 0
-	for len(p.cq) > 0 && handled < maxEventsPerPoll {
-		pkt := p.cq[0]
-		p.cq[0] = nil
-		p.cq = p.cq[1:]
+	for len(sh.cq) > 0 && handled < maxEventsPerPoll {
+		pkt := sh.cq[0]
+		sh.cq[0] = nil
+		sh.cq = sh.cq[1:]
 		th.S.Sleep(cost.ProgressHandleWork)
 		p.handlePacket(th, pkt)
 		if p.rel == nil {
@@ -86,7 +95,7 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 		}
 
 	case fabric.Eager:
-		if r := p.matchPosted(th, pkt.Meta.(rtsMeta)); r != nil {
+		if r := p.matchPostedShard(th, pkt.VCI, pkt.Meta.(rtsMeta)); r != nil {
 			if r.maxBytes >= 0 && pkt.Bytes > r.maxBytes {
 				r.fail(ErrTruncate, now)
 				p.PostedHits++
@@ -101,16 +110,16 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 			th.S.Sleep(cost.UnexpectedOverhead + cost.CopyTime(pkt.Bytes))
 			m := pkt.Meta.(rtsMeta)
 			//simcheck:allow hotalloc unexpected-queue state the paper measures; its cost is modeled as UnexpectedOverhead
-			p.unexp = append(p.unexp, &envelope{
+			p.vcis[pkt.VCI].unexp = append(p.vcis[pkt.VCI].unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
 				bytes: pkt.Bytes, payload: pkt.Payload,
-				arrivedAt: th.S.Now(),
+				arrivedAt: th.S.Now(), vci: pkt.VCI,
 			})
 		}
 
 	case fabric.RTS:
 		m := pkt.Meta.(rtsMeta)
-		if r := p.matchPosted(th, m); r != nil {
+		if r := p.matchPostedShard(th, pkt.VCI, m); r != nil {
 			p.PostedHits++
 			r.bytes = m.bytes
 			if r.maxBytes >= 0 && m.bytes > r.maxBytes {
@@ -123,14 +132,16 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 			*cts = fabric.Packet{
 				Kind: fabric.CTS, Src: p.Rank, Dst: pkt.Src,
 				Handle: pkt.Handle, Meta: ctsMeta{recvReq: r},
+				VCI: pkt.VCI,
 			}
-			p.send(cts, false, nil)
+			p.sendShard(th, cts, false, nil)
 		} else {
 			//simcheck:allow hotalloc unexpected-queue state the paper measures; its cost is modeled as UnexpectedOverhead
-			p.unexp = append(p.unexp, &envelope{
+			p.vcis[pkt.VCI].unexp = append(p.vcis[pkt.VCI].unexp, &envelope{
 				src: m.src, tag: m.tag, ctx: m.ctx,
 				bytes: m.bytes, rndv: true,
 				senderReq: pkt.Handle.(*Request), arrivedAt: now,
+				vci: pkt.VCI,
 			})
 		}
 
@@ -144,9 +155,9 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 		*rdata = fabric.Packet{
 			Kind: fabric.RData, Src: p.Rank, Dst: sreq.dst,
 			Bytes: sreq.bytes, Handle: sreq, Meta: pkt.Meta,
-			Payload: sreq.payload,
+			Payload: sreq.payload, VCI: pkt.VCI,
 		}
-		p.send(rdata, true, sreq)
+		p.sendShard(th, rdata, true, sreq)
 
 	case fabric.RData:
 		// Rendezvous payload lands directly in the posted buffer — unless
@@ -187,30 +198,48 @@ func (p *Proc) handlePacket(th *Thread, pkt *fabric.Packet) {
 	}
 }
 
-// matchPosted scans the posted queue for a receive matching the arrival,
-// charging the per-item search cost, and removes and returns the match.
-func (p *Proc) matchPosted(th *Thread, m rtsMeta) *Request {
+// matchPostedShard scans shard v's posted queue for a receive matching the
+// arrival, charging the per-item search cost, and removes and returns the
+// match. Cross-posted wildcard receives (irecvWild) are handled here: a
+// wildcard satisfied on another shard — or cancelled — is a tombstone and
+// is pruned for free during the scan; a live wildcard that matches is
+// bound to this shard (its copies elsewhere become tombstones).
+func (p *Proc) matchPostedShard(th *Thread, v int, m rtsMeta) *Request {
 	cost := th.cost()
-	for i, r := range p.posted {
+	sh := p.vcis[v]
+	scanned := 0
+	for i := 0; i < len(sh.posted); {
+		r := sh.posted[i]
+		if r.wild && (r.complete || r.freed || (r.vci >= 0 && r.vci != v)) {
+			sh.posted = append(sh.posted[:i], sh.posted[i+1:]...)
+			continue
+		}
+		scanned++
 		if matchesRecv(r, m.src, m.tag, m.ctx) {
 			// Dequeue before charging time: the scan+remove is one
 			// atomic operation even in the lock-free granularity.
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
-			th.S.Sleep(cost.QueueSearchPerItem * int64(i+1))
+			sh.posted = append(sh.posted[:i], sh.posted[i+1:]...)
+			th.S.Sleep(cost.QueueSearchPerItem * int64(scanned))
+			if r.wild {
+				r.vci = v
+			}
 			return r
 		}
+		i++
 	}
-	th.S.Sleep(cost.QueueSearchPerItem * int64(len(p.posted)+1))
+	th.S.Sleep(cost.QueueSearchPerItem * int64(scanned+1))
 	return nil
 }
 
-// matchUnexpected scans the unexpected queue for a message satisfying the
-// receive (src, tag, ctx), charging search cost, removing the hit.
-func (p *Proc) matchUnexpected(th *Thread, src, tag, ctx int) *envelope {
+// matchUnexpectedShard scans shard v's unexpected queue for a message
+// satisfying the receive (src, tag, ctx), charging search cost, removing
+// the hit.
+func (p *Proc) matchUnexpectedShard(th *Thread, v int, src, tag, ctx int) *envelope {
 	cost := th.cost()
-	for i, e := range p.unexp {
+	sh := p.vcis[v]
+	for i, e := range sh.unexp {
 		if e.matches(src, tag, ctx) {
-			p.unexp = append(p.unexp[:i], p.unexp[i+1:]...)
+			sh.unexp = append(sh.unexp[:i], sh.unexp[i+1:]...)
 			th.S.Sleep(cost.QueueSearchPerItem * int64(i+1))
 			p.UnexpectedHits++
 			if p.w.tel != nil {
@@ -219,7 +248,7 @@ func (p *Proc) matchUnexpected(th *Thread, src, tag, ctx int) *envelope {
 			return e
 		}
 	}
-	th.S.Sleep(cost.QueueSearchPerItem * int64(len(p.unexp)+1))
+	th.S.Sleep(cost.QueueSearchPerItem * int64(len(sh.unexp)+1))
 	return nil
 }
 
@@ -239,7 +268,7 @@ func (th *Thread) progressYield() {
 		// park until an arrival or completion wakes us. The emptiness
 		// check is adjacent to the park (no virtual-time gap), so no
 		// wake-up can be lost.
-		if len(p.cq) == 0 {
+		if p.cqEmpty() {
 			p.activity.Wait(th.S)
 		}
 		th.pollBackoff = 0

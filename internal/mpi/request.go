@@ -70,6 +70,16 @@ type Request struct {
 	poolable bool
 	// nextFree links the world's request free list while pooled.
 	nextFree *Request
+
+	// vci is the virtual communication interface the request lives on
+	// (always 0 in the unsharded runtime). A cross-VCI wildcard receive
+	// starts at -1 (posted on every shard) and is bound to the shard that
+	// matches it.
+	vci int
+	// wild marks a cross-VCI wildcard receive (irecvWild): the request is
+	// cross-posted to every shard's posted queue, and copies left on other
+	// shards after it matches are tombstones pruned during later scans.
+	wild bool
 }
 
 // Err returns the error that failed the request, or nil. Valid once the
@@ -134,10 +144,24 @@ func (r *Request) fail(code Errcode, at sim.Time) {
 	r.err = &Error{Code: code, Detail: r.describe()}
 	if r.kind == RecvReq {
 		p := r.p
-		for i, q := range p.posted {
-			if q == r {
-				p.posted = append(p.posted[:i], p.posted[i+1:]...)
-				break
+		if r.wild && r.vci < 0 {
+			// An unbound wildcard is cross-posted on every shard; withdraw
+			// all copies.
+			for _, sh := range p.vcis {
+				for i, q := range sh.posted {
+					if q == r {
+						sh.posted = append(sh.posted[:i], sh.posted[i+1:]...)
+						break
+					}
+				}
+			}
+		} else {
+			sh := p.vcis[r.vci]
+			for i, q := range sh.posted {
+				if q == r {
+					sh.posted = append(sh.posted[:i], sh.posted[i+1:]...)
+					break
+				}
 			}
 		}
 	}
@@ -175,7 +199,15 @@ func (r *Request) free() {
 func (r *Request) release() error {
 	err := r.raise()
 	if r.poolable && r.err == nil {
-		r.p.w.recycleRequest(r)
+		if len(r.p.vcis) > 1 {
+			// Sharded runtime: the object goes back to its shard's pool,
+			// keeping request recycling contention-free per VCI.
+			sh := r.p.vcis[r.vci]
+			r.nextFree = sh.reqFree
+			sh.reqFree = r
+		} else {
+			r.p.w.recycleRequest(r)
+		}
 	}
 	return err
 }
@@ -190,6 +222,7 @@ type envelope struct {
 	rndv          bool
 	senderReq     *Request // rendezvous: origin request to CTS back to
 	arrivedAt     sim.Time
+	vci           int // shard the message arrived on (0 when unsharded)
 }
 
 // matches reports whether the envelope satisfies a receive for (src, tag,

@@ -33,11 +33,22 @@ const backoffCap = 6
 // requests outstanding) count as a stalled pipeline.
 const stallIntervals = 3
 
-// txKey identifies an in-flight reliable packet: destination rank plus
-// per-destination sequence number.
+// txKey identifies an in-flight reliable packet: destination rank, VCI,
+// and per-flow sequence number.
 type txKey struct {
 	dst int
+	vci int
 	seq uint64
+}
+
+// flowKey names one reliable flow: a peer rank and a VCI. Sequencing is
+// per flow, so sharded traffic between the same pair of ranks does not
+// serialize through one sequence space (and one shard's loss cannot
+// head-of-line-block another's). With one VCI every flow has vci 0 and the
+// keying degenerates to the old per-peer counters.
+type flowKey struct {
+	peer int
+	vci  int
 }
 
 // txRecord tracks one unacknowledged reliable packet at the sender.
@@ -101,9 +112,9 @@ type relState struct {
 	plane *fault.Plane
 	cfg   fault.Config // effective (default-filled) tuning
 
-	nextSeq map[int]uint64
+	nextSeq map[flowKey]uint64
 	tx      map[txKey]*txRecord
-	rx      map[int]*rxFlow
+	rx      map[flowKey]*rxFlow
 
 	// onTimeoutFn is the long-lived retransmit callback passed to
 	// AtTimerArg, so arming a timer allocates no closure per packet.
@@ -122,9 +133,9 @@ type relState struct {
 func newRelState(p *Proc, plane *fault.Plane) *relState {
 	rs := &relState{
 		p: p, plane: plane, cfg: plane.Config(),
-		nextSeq: make(map[int]uint64),
+		nextSeq: make(map[flowKey]uint64),
 		tx:      make(map[txKey]*txRecord),
-		rx:      make(map[int]*rxFlow),
+		rx:      make(map[flowKey]*rxFlow),
 	}
 	rs.onTimeoutFn = func(arg interface{}) { rs.onTimeout(arg.(*txRecord)) }
 	return rs
@@ -143,12 +154,13 @@ func (p *Proc) send(pkt *fabric.Packet, notifyTx bool, owner *Request) sim.Time 
 }
 
 func (rs *relState) send(pkt *fabric.Packet, notifyTx bool, owner *Request) sim.Time {
-	seq := rs.nextSeq[pkt.Dst]
-	rs.nextSeq[pkt.Dst] = seq + 1
+	fk := flowKey{pkt.Dst, pkt.VCI}
+	seq := rs.nextSeq[fk]
+	rs.nextSeq[fk] = seq + 1
 	pkt.Seq, pkt.Rel = seq, true
 	//simcheck:allow hotalloc per-in-flight-packet reliability state, retired on ACK
 	rec := &txRecord{pkt: pkt, owner: owner}
-	rs.tx[txKey{pkt.Dst, seq}] = rec
+	rs.tx[txKey{pkt.Dst, pkt.VCI, seq}] = rec
 	t := rs.p.ep.Send(pkt, notifyTx)
 	rs.arm(rec)
 	return t
@@ -177,7 +189,7 @@ func (rs *relState) onTimeout(rec *txRecord) {
 		// Dead-peer check: the destination was declared failed since this
 		// packet went out. Fail fast with ErrProcFailed instead of
 		// retransmitting into the blackhole until retry exhaustion.
-		delete(rs.tx, txKey{rec.pkt.Dst, rec.pkt.Seq})
+		delete(rs.tx, txKey{rec.pkt.Dst, rec.pkt.VCI, rec.pkt.Seq})
 		rs.p.w.ft.deadAborts++
 		if rec.owner != nil {
 			rec.owner.fail(ErrProcFailed, rs.p.w.Eng.Now())
@@ -187,7 +199,7 @@ func (rs *relState) onTimeout(rec *txRecord) {
 	rec.attempts++
 	if rec.attempts > rs.cfg.MaxRetries {
 		rs.GiveUps++
-		delete(rs.tx, txKey{rec.pkt.Dst, rec.pkt.Seq})
+		delete(rs.tx, txKey{rec.pkt.Dst, rec.pkt.VCI, rec.pkt.Seq})
 		rs.p.w.faultEvent("giveup", rs.p.Rank)
 		if rec.owner != nil {
 			rec.owner.fail(ErrRetryExhausted, rs.p.w.Eng.Now())
@@ -225,10 +237,11 @@ func (rs *relState) admit(pkt *fabric.Packet) []*fabric.Packet {
 	if !pkt.Rel {
 		return []*fabric.Packet{pkt}
 	}
-	fl := rs.rx[pkt.Src]
+	fk := flowKey{pkt.Src, pkt.VCI}
+	fl := rs.rx[fk]
 	if fl == nil {
 		fl = &rxFlow{}
-		rs.rx[pkt.Src] = fl
+		rs.rx[fk] = fl
 	}
 	if fl.seen(pkt.Seq) {
 		// Duplicate (fault-injected copy, or a retransmit racing the
@@ -236,7 +249,7 @@ func (rs *relState) admit(pkt *fabric.Packet) []*fabric.Packet {
 		// slow progress loop cannot sustain a retransmit storm for a
 		// packet that already arrived.
 		rs.DupsSuppressed++
-		rs.sendAck(pkt.Src, pkt.Seq)
+		rs.sendAck(pkt.Src, pkt.VCI, pkt.Seq)
 		return nil
 	}
 	if pkt.Seq > fl.expected {
@@ -245,7 +258,7 @@ func (rs *relState) admit(pkt *fabric.Packet) []*fabric.Packet {
 		// is stashed; a duplicate of a stashed packet is ACKed at driver
 		// level above, which is safe — stashed packets are never lost,
 		// only held until the flow is contiguous again.
-		rs.sendNack(pkt.Src, fl.expected)
+		rs.sendNack(pkt.Src, pkt.VCI, fl.expected)
 	}
 	return fl.admit(pkt)
 }
@@ -253,7 +266,7 @@ func (rs *relState) admit(pkt *fabric.Packet) []*fabric.Packet {
 // onAck completes the matching tx record and cancels its timer.
 func (rs *relState) onAck(pkt *fabric.Packet) {
 	rs.AcksReceived++
-	rec, ok := rs.tx[txKey{pkt.Src, pkt.Seq}]
+	rec, ok := rs.tx[txKey{pkt.Src, pkt.VCI, pkt.Seq}]
 	if !ok {
 		return // duplicate ACK for an already-retired record
 	}
@@ -261,13 +274,13 @@ func (rs *relState) onAck(pkt *fabric.Packet) {
 	if rec.timer != nil {
 		rec.timer.Cancel()
 	}
-	delete(rs.tx, txKey{pkt.Src, pkt.Seq})
+	delete(rs.tx, txKey{pkt.Src, pkt.VCI, pkt.Seq})
 }
 
 // onNack fast-retransmits the named missing packet if it is still
 // unacknowledged.
 func (rs *relState) onNack(pkt *fabric.Packet) {
-	rec, ok := rs.tx[txKey{pkt.Src, pkt.Seq}]
+	rec, ok := rs.tx[txKey{pkt.Src, pkt.VCI, pkt.Seq}]
 	if !ok || rec.acked {
 		return
 	}
@@ -286,21 +299,23 @@ func (rs *relState) onNack(pkt *fabric.Packet) {
 // critical section actually got around to the packet — a starved progress
 // loop therefore ACKs late and draws retransmits.
 func (rs *relState) ackDelivered(pkt *fabric.Packet) {
-	rs.sendAck(pkt.Src, pkt.Seq)
+	rs.sendAck(pkt.Src, pkt.VCI, pkt.Seq)
 }
 
-func (rs *relState) sendAck(to int, seq uint64) {
+// sendAck/sendNack echo the flow's VCI so the sender retires/retransmits
+// the record of the right shard's flow.
+func (rs *relState) sendAck(to, vci int, seq uint64) {
 	rs.AcksSent++
 	//simcheck:allow hotalloc reliability-mode traffic is deliberately unpooled: duplicate deliveries share the struct
 	rs.p.ep.Send(&fabric.Packet{
-		Kind: fabric.Ack, Src: rs.p.Rank, Dst: to, Seq: seq,
+		Kind: fabric.Ack, Src: rs.p.Rank, Dst: to, Seq: seq, VCI: vci,
 	}, false)
 }
 
-func (rs *relState) sendNack(to int, seq uint64) {
+func (rs *relState) sendNack(to, vci int, seq uint64) {
 	rs.NacksSent++
 	rs.p.ep.Send(&fabric.Packet{
-		Kind: fabric.Nack, Src: rs.p.Rank, Dst: to, Seq: seq,
+		Kind: fabric.Nack, Src: rs.p.Rank, Dst: to, Seq: seq, VCI: vci,
 	}, false)
 }
 
@@ -379,14 +394,29 @@ func (w *World) NetStats() NetStats {
 func (w *World) CheckClean() error {
 	var problems []string
 	for _, p := range w.Procs {
-		if n := len(p.posted); n > 0 {
-			problems = append(problems, fmt.Sprintf("rank %d: %d posted receives never matched", p.Rank, n))
+		posted, unexp, cq := 0, 0, 0
+		for _, sh := range p.vcis {
+			live := 0
+			for _, r := range sh.posted {
+				// A tombstone (a wildcard bound or completed elsewhere,
+				// awaiting lazy pruning) is not residue.
+				if r.wild && (r.complete || r.freed || (r.vci >= 0 && r.vci != sh.idx)) {
+					continue
+				}
+				live++
+			}
+			posted += live
+			unexp += len(sh.unexp)
+			cq += len(sh.cq)
 		}
-		if n := len(p.unexp); n > 0 {
-			problems = append(problems, fmt.Sprintf("rank %d: %d unexpected messages never consumed", p.Rank, n))
+		if posted > 0 {
+			problems = append(problems, fmt.Sprintf("rank %d: %d posted receives never matched", p.Rank, posted))
 		}
-		if n := len(p.cq); n > 0 {
-			problems = append(problems, fmt.Sprintf("rank %d: %d completion-queue events unprocessed", p.Rank, n))
+		if unexp > 0 {
+			problems = append(problems, fmt.Sprintf("rank %d: %d unexpected messages never consumed", p.Rank, unexp))
+		}
+		if cq > 0 {
+			problems = append(problems, fmt.Sprintf("rank %d: %d completion-queue events unprocessed", p.Rank, cq))
 		}
 		if p.outstanding != 0 {
 			problems = append(problems, fmt.Sprintf("rank %d: %d requests still outstanding", p.Rank, p.outstanding))
@@ -395,17 +425,22 @@ func (w *World) CheckClean() error {
 			problems = append(problems, fmt.Sprintf("rank %d: %d requests dangling", p.Rank, p.danglingNow))
 		}
 		if p.rel != nil {
-			// Report in rank order: map iteration order would make the
-			// residue message differ between runs.
-			srcs := make([]int, 0, len(p.rel.rx))
-			for src := range p.rel.rx {
-				srcs = append(srcs, src)
+			// Report in (rank, vci) order: map iteration order would make
+			// the residue message differ between runs.
+			flows := make([]flowKey, 0, len(p.rel.rx))
+			for fk := range p.rel.rx {
+				flows = append(flows, fk)
 			}
-			sort.Ints(srcs)
-			for _, src := range srcs {
-				if n := len(p.rel.rx[src].stash); n > 0 {
+			sort.Slice(flows, func(i, j int) bool {
+				if flows[i].peer != flows[j].peer {
+					return flows[i].peer < flows[j].peer
+				}
+				return flows[i].vci < flows[j].vci
+			})
+			for _, fk := range flows {
+				if n := len(p.rel.rx[fk].stash); n > 0 {
 					problems = append(problems, fmt.Sprintf(
-						"rank %d: %d packets from rank %d stuck behind a sequence gap", p.Rank, n, src))
+						"rank %d: %d packets from rank %d stuck behind a sequence gap", p.Rank, n, fk.peer))
 				}
 			}
 		}
@@ -468,8 +503,14 @@ func (w *World) DanglingReport() string {
 		if p.rel != nil {
 			pending = p.rel.pendingTx()
 		}
+		posted, unexp, cq := 0, 0, 0
+		for _, sh := range p.vcis {
+			posted += len(sh.posted)
+			unexp += len(sh.unexp)
+			cq += len(sh.cq)
+		}
 		fmt.Fprintf(&b, "  rank %d: outstanding=%d dangling=%d posted=%d unexpected=%d cq=%d unacked-tx=%d\n",
-			p.Rank, p.outstanding, p.danglingNow, len(p.posted), len(p.unexp), len(p.cq), pending)
+			p.Rank, p.outstanding, p.danglingNow, posted, unexp, cq, pending)
 		if p.rel != nil && pending > 0 {
 			keys := make([]txKey, 0, pending)
 			for k := range p.rel.tx {
@@ -478,6 +519,9 @@ func (w *World) DanglingReport() string {
 			sort.Slice(keys, func(i, j int) bool {
 				if keys[i].dst != keys[j].dst {
 					return keys[i].dst < keys[j].dst
+				}
+				if keys[i].vci != keys[j].vci {
+					return keys[i].vci < keys[j].vci
 				}
 				return keys[i].seq < keys[j].seq
 			})

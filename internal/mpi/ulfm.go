@@ -56,7 +56,7 @@ type agreeResult struct {
 // protocol can observe ErrProcFailed and route around it.
 func (c *Comm) recoveryComm() *Comm {
 	return &Comm{w: c.w, ctx: agreeBase - c.ctx, size: c.size, ranks: c.ranks,
-		errhandler: ErrorsReturn}
+		errhandler: ErrorsReturn, vcihint: c.vcihint}
 }
 
 // requireFT panics unless the fault-tolerance plane is armed.

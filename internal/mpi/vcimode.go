@@ -1,0 +1,308 @@
+package mpi
+
+// This file implements the per-VCI runtime mode: the shard type holding
+// one virtual communication interface's matching queues, completion queue,
+// request pool and critical-section lock, plus the VCI-aware variants of
+// the critical-section protocol (main-path, state and progress sections on
+// a single shard, and the cross-VCI wildcard path that owns every shard at
+// once). Like granularity.go, the section helpers here open and close
+// critical sections across function boundaries by design; the lockpair
+// analyzer enforces pairing at their call sites.
+//
+// With one VCI per proc (the default) none of the multi-shard paths run:
+// every helper degrades to the exact pre-VCI code path on shard 0, keeping
+// single-VCI output byte-identical.
+//
+//simcheck:allow-file lockpair protocol wrappers; pairing is enforced at call sites
+
+import (
+	"mpicontend/internal/fabric"
+	"mpicontend/internal/mpi/vci"
+	"mpicontend/internal/simlock"
+)
+
+// vciShard is one virtual communication interface of a proc: an
+// independent slice of the runtime — matching queues, completion queue,
+// request pool — guarded by its own critical-section lock. Two operations
+// mapped to different shards of the same proc never contend; the only
+// remaining arbitration between them is the shared-NIC injection lock
+// (Proc.nicVCI) and the physical NIC serialization in the fabric.
+type vciShard struct {
+	idx    int
+	cs     csLock
+	posted []*Request       // posted receive queue
+	unexp  []*envelope      // unexpected message queue
+	cq     []*fabric.Packet // network completion queue
+
+	// reqFree pools request objects of this shard (multi-VCI mode only;
+	// the single-VCI runtime keeps using the world pool).
+	reqFree *Request
+}
+
+// numVCI returns the number of VCIs of this proc (>= 1).
+func (p *Proc) numVCI() int { return len(p.vcis) }
+
+// selectVCI maps an operation on (comm, tag) to its shard.
+func (p *Proc) selectVCI(c *Comm, tag int) int {
+	if len(p.vcis) == 1 {
+		return 0
+	}
+	return vci.Select(p.w.Cfg.VCIPolicy, c.ctx, tag, c.vciHint(), len(p.vcis))
+}
+
+// vciWildcard reports whether a receive with the given tag cannot be
+// mapped to one shard and must take the cross-VCI path.
+func (p *Proc) vciWildcard(tag int) bool {
+	return len(p.vcis) > 1 && vci.Wildcard(p.w.Cfg.VCIPolicy, tag, AnyTag)
+}
+
+// allocReqVCI returns a zeroed request from shard v's pool (multi-VCI) or
+// the world pool (single-VCI, preserving the pre-VCI allocation pattern).
+func (p *Proc) allocReqVCI(v int) *Request {
+	if len(p.vcis) == 1 {
+		return p.w.allocRequest()
+	}
+	sh := p.vcis[v]
+	if r := sh.reqFree; r != nil {
+		sh.reqFree = r.nextFree
+		*r = Request{}
+		return r
+	}
+	return new(Request)
+}
+
+// cqEmpty reports whether every shard's completion queue is empty (the
+// selective-wakeup park condition).
+func (p *Proc) cqEmpty() bool {
+	for _, sh := range p.vcis {
+		if len(sh.cq) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mainBeginVCI opens the main-path section of an MPI call mapped to shard
+// v. With one VCI it defers to the granularity-aware mainBegin; with many
+// (GranGlobal only, enforced at NewWorld) it enters shard v's critical
+// section directly.
+func (th *Thread) mainBeginVCI(v int) {
+	p := th.P
+	if len(p.vcis) == 1 {
+		th.mainBegin()
+		return
+	}
+	th.checkCrashed()
+	th.checkThreadLevel()
+	// The held-lock walk is flow-insensitive and sees the len==1 arm's
+	// mainBegin effects (GranFine's queueCS among them) as still held
+	// here; the arms are mutually exclusive — multi-VCI requires
+	// GranGlobal, enforced at NewWorld.
+	//simcheck:allow lockorder single- and multi-VCI arms are mutually exclusive; multi-VCI forbids GranFine
+	p.vcis[v].cs.enter(th, simlock.High)
+	th.S.Sleep(th.cost().MainPathWork)
+}
+
+// mainEndVCI closes a mainBeginVCI section.
+func (th *Thread) mainEndVCI(v int) {
+	p := th.P
+	if len(p.vcis) == 1 {
+		th.mainEnd()
+		return
+	}
+	p.vcis[v].cs.exit(th, simlock.High)
+	th.exitThreadLevel()
+}
+
+// stateBeginVCI opens a short request-state section on shard v.
+func (th *Thread) stateBeginVCI(v int, cl simlock.Class) {
+	p := th.P
+	if len(p.vcis) == 1 {
+		th.stateBegin(cl)
+		return
+	}
+	th.checkCrashed()
+	th.checkThreadLevel()
+	p.vcis[v].cs.enter(th, cl)
+}
+
+// stateEndVCI closes a stateBeginVCI section.
+func (th *Thread) stateEndVCI(v int, cl simlock.Class) {
+	p := th.P
+	if len(p.vcis) == 1 {
+		th.stateEnd(cl)
+		return
+	}
+	p.vcis[v].cs.exit(th, cl)
+	th.exitThreadLevel()
+}
+
+// progressRoundVCI runs one progress-engine iteration on shard v: poll its
+// completion queue and run post under its critical section. With one VCI
+// it is exactly progressRound.
+func (th *Thread) progressRoundVCI(v int, cl simlock.Class, post func()) {
+	p := th.P
+	if len(p.vcis) == 1 {
+		th.progressRound(cl, post)
+		return
+	}
+	th.checkCrashed()
+	th.checkThreadLevel()
+	defer th.exitThreadLevel()
+	p.vcis[v].cs.enter(th, cl)
+	p.pollShard(th, v)
+	if post != nil {
+		post()
+	}
+	p.vcis[v].cs.exit(th, cl)
+}
+
+// wildBegin opens the cross-VCI wildcard section: every shard's critical
+// section, acquired in ascending shard order (the module-wide discipline
+// that makes the multi-acquire deadlock-free; the lock-identity layer
+// canonicalizes the indexed acquisitions as one ordered class). Main-path
+// work is charged once, after the last acquisition.
+func (th *Thread) wildBegin() {
+	th.checkCrashed()
+	th.checkThreadLevel()
+	p := th.P
+	for v := range p.vcis {
+		p.vcis[v].cs.enter(th, simlock.High)
+	}
+	th.S.Sleep(th.cost().MainPathWork)
+}
+
+// wildEnd closes a wildBegin section, releasing in reverse order.
+func (th *Thread) wildEnd() {
+	p := th.P
+	for v := len(p.vcis) - 1; v >= 0; v-- {
+		p.vcis[v].cs.exit(th, simlock.High)
+	}
+	th.exitThreadLevel()
+}
+
+// nicInjectWork is the driver-level CPU cost of handing one packet to the
+// shared NIC while holding the injection lock: a cached descriptor write
+// plus a posted (fire-and-forget) doorbell MMIO. The hold time is what a
+// tuned driver achieves — short enough that a waiter usually gets the
+// lock within its user-space spin budget, so the injection point only
+// punishes locks with poor hand-off under burst pressure.
+const nicInjectWork = 10
+
+// sendShard injects a protocol packet of shard v. In multi-VCI mode the
+// shared NIC is the one arbitration site left between shards: injection
+// runs under the nicVCI lock (always high class — the driver does not
+// discriminate), nested inside the caller's shard section, giving the
+// invariant lock order shard CS -> NIC. Single-VCI mode bypasses the NIC
+// lock entirely, preserving the pre-VCI path.
+func (p *Proc) sendShard(th *Thread, pkt *fabric.Packet, notifyTx bool, owner *Request) {
+	if len(p.vcis) == 1 {
+		p.send(pkt, notifyTx, owner)
+		return
+	}
+	//simcheck:allow hotalloc lock-implementation layer; simlock state is per-lock and preallocated, not per-event
+	p.nicVCI.enter(th, simlock.High)
+	th.S.Sleep(nicInjectWork)
+	p.send(pkt, notifyTx, owner)
+	//simcheck:allow hotalloc lock-implementation layer; simlock state is per-lock and preallocated, not per-event
+	p.nicVCI.exit(th, simlock.High)
+}
+
+// consumeRevoke applies a communicator revocation at driver level (engine
+// context) — the sharded runtime's analogue of progress.go's Revoke
+// handling. Only reached with the fault-tolerance plane armed (Revoke
+// packets do not otherwise exist), where the reliable transport is active
+// and the ACK must be issued here, since the packet never reaches a
+// progress loop.
+func (p *Proc) consumeRevoke(pkt *fabric.Packet) {
+	now := p.w.Eng.Now()
+	m := pkt.Meta.(revokeMeta)
+	if p.ft != nil && !p.ft.revoked[m.ctx] {
+		size := len(m.ranks)
+		if m.ranks == nil {
+			size = len(p.w.Procs)
+		}
+		p.applyRevoke(m.ctx, now)
+		p.floodRevoke(m.ctx, m.ranks, size)
+	}
+	if pkt.Rel && p.rel != nil {
+		p.rel.ackDelivered(pkt)
+	}
+}
+
+// reqShard returns the state-section shard of a request: its own VCI, or
+// shard 0 for a request that completed without ever binding to a shard
+// (fault paths can fail an unbound wildcard while it is still cross-posted).
+func reqShard(r *Request) int {
+	if r.vci < 0 {
+		return 0
+	}
+	return r.vci
+}
+
+// sweepDone visits the already-completed, unfreed requests of rs shard by
+// shard: each shard holding at least one opens its own state section and
+// fn runs on that shard's completed requests (with the rs index they were
+// snapshotted at). A fixed single-shard sweep here would funnel every
+// wait-family caller through one lock and re-serialize exactly the
+// independence sharding buys; request state lives on the request's own
+// VCI, so that shard's section is the one that guards its reaping. When
+// nothing has completed, no section is opened at all.
+func (th *Thread) sweepDone(rs []*Request, fn func(i int, r *Request)) {
+	p := th.P
+	done := make(shardSet, p.numVCI())
+	type snap struct {
+		i int
+		r *Request
+	}
+	var snaps []snap
+	for i, r := range rs {
+		if r != nil && r.complete && !r.freed {
+			done[reqShard(r)] = true
+			snaps = append(snaps, snap{i, r})
+		}
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	for v := range done {
+		if !done[v] {
+			continue
+		}
+		th.stateBeginVCI(v, simlock.High)
+		for _, s := range snaps {
+			if reqShard(s.r) == v && s.r.complete && !s.r.freed {
+				fn(s.i, s.r)
+			}
+		}
+		th.stateEndVCI(v, simlock.High)
+	}
+}
+
+// shardSet is a reusable per-call scratch marking which shards a wait
+// family call must poll this round.
+type shardSet []bool
+
+// gather marks the shards of the still-pending requests; an unbound
+// wildcard (vci < 0) marks every shard. Returns false when no request is
+// pending.
+func (s shardSet) gather(rs []*Request) bool {
+	for i := range s {
+		s[i] = false
+	}
+	any := false
+	for _, r := range rs {
+		if r == nil || r.complete || r.freed {
+			continue
+		}
+		any = true
+		if r.vci < 0 {
+			for i := range s {
+				s[i] = true
+			}
+			return true
+		}
+		s[r.vci] = true
+	}
+	return any
+}

@@ -23,6 +23,7 @@ import (
 	"mpicontend/internal/fabric"
 	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/sim"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/telemetry"
@@ -89,6 +90,17 @@ type Config struct {
 	// "giveup", "preempt") at their virtual time on the given rank —
 	// used to pin marks onto lock-ownership timelines.
 	OnFaultEvent func(event string, at int64, rank int)
+	// VCIs is the number of virtual communication interfaces per process:
+	// independent runtime shards (matching queues, completion queue,
+	// request pool, transport flows), each with its own critical-section
+	// lock of the configured Kind. 0 or 1 selects the unsharded runtime,
+	// byte-identical to the pre-VCI code path. More than one VCI requires
+	// GranGlobal (sub-CS granularities and sharding answer the same
+	// question at different layers and do not compose).
+	VCIs int
+	// VCIPolicy selects how operations map onto VCIs (per-comm,
+	// per-tag-hash, explicit hint); see internal/mpi/vci.
+	VCIPolicy vci.Policy
 	// Tel, when non-nil, attaches the telemetry plane: MPI-call spans,
 	// lock wait/hold spans per priority class, progress-poll spans,
 	// request-lifecycle gauges, and fabric flight spans all record
@@ -165,6 +177,23 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("mpi: %d processes per node exceed %d cores",
 			cfg.ProcsPerNode, cfg.Topo.CoresPerNode())
 	}
+	if err := (vci.Config{N: cfg.VCIs, Policy: cfg.VCIPolicy}).Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VCIs < 1 {
+		cfg.VCIs = 1
+	}
+	if cfg.VCIs > 1 {
+		if cfg.Granularity != GranGlobal {
+			return nil, fmt.Errorf("mpi: %d VCIs require GranGlobal, got %v "+
+				"(sub-CS granularity and VCI sharding do not compose)",
+				cfg.VCIs, cfg.Granularity)
+		}
+		if cfg.ThreadLevel.lockless() {
+			return nil, fmt.Errorf("mpi: %d VCIs require MPI_THREAD_MULTIPLE "+
+				"(sharding a lockless runtime is meaningless)", cfg.VCIs)
+		}
+	}
 	if cfg.ThreadLevel.lockless() {
 		// Below MPI_THREAD_MULTIPLE the runtime is not thread safe and
 		// takes no locks (that is the point of the levels, §2.1).
@@ -206,8 +235,23 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.OnGrant != nil {
 			lcfg.OnGrant = cfg.OnGrant(rank)
 		}
-		p.cs = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines}
-		p.cs.instrument(w.tel, fmt.Sprintf("cs[r%d]", rank))
+		if cfg.VCIs == 1 {
+			sh := &vciShard{idx: 0}
+			sh.cs = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines}
+			sh.cs.instrument(w.tel, fmt.Sprintf("cs[r%d]", rank))
+			p.vcis = []*vciShard{sh}
+		} else {
+			for v := 0; v < cfg.VCIs; v++ {
+				sh := &vciShard{idx: v}
+				sh.cs = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines}
+				sh.cs.instrument(w.tel, fmt.Sprintf("cs[r%d.v%d]", rank, v))
+				p.vcis = append(p.vcis, sh)
+			}
+			// The shared-NIC injection point: the one arbitration site the
+			// sharding cannot remove (all VCIs funnel into one physical NIC).
+			p.nicVCI = csLock{lock: simlock.New(cfg.Lock, lcfg), lines: cfg.Cost.CSStateLines / 2}
+			p.nicVCI.instrument(w.tel, fmt.Sprintf("nic[r%d]", rank))
+		}
 		if cfg.Granularity == GranFine {
 			sub := &simlock.Config{Eng: w.Eng, Cost: cfg.Cost}
 			p.queueCS = csLock{lock: simlock.New(cfg.Lock, sub), lines: cfg.Cost.CSStateLines / 2}
@@ -281,6 +325,9 @@ type Comm struct {
 	// errhandler overrides the world's when not ErrhandlerInherit (the
 	// zero value), so new communicators inherit by default.
 	errhandler Errhandler
+	// vcihint is the explicit VCI assignment plus one (0 = unset); see
+	// SetVCI/vciHint.
+	vcihint int
 }
 
 // Size returns the number of ranks in the communicator.
@@ -298,7 +345,11 @@ type Proc struct {
 	firstCore int
 	coreCount int
 
-	cs      csLock // the global critical section (Fig. 6a)
+	// vcis are the proc's virtual communication interfaces (always >= 1).
+	// Shard 0 of a single-VCI world carries the global critical section
+	// (Fig. 6a) plus all queues, exactly the pre-VCI layout.
+	vcis    []*vciShard
+	nicVCI  csLock // shared-NIC injection lock (multi-VCI mode only)
 	queueCS csLock // matching-queue lock (GranFine)
 	nicCS   csLock // completion-queue lock (GranFine)
 	ep      *fabric.Endpoint
@@ -309,10 +360,6 @@ type Proc struct {
 	crashed     bool  // fail-stopped: threads unwind at the next checkpoint
 	lockCrashAt int64 // > 0: crash at the first CS acquisition at/after this time
 	liveApp     int   // live application threads (for crash accounting)
-
-	posted []*Request       // posted receive queue
-	unexp  []*envelope      // unexpected message queue
-	cq     []*fabric.Packet // network completion queue
 
 	activity    sim.WaitQueue // parked background pollers
 	nthreads    int
@@ -330,8 +377,8 @@ type Proc struct {
 }
 
 // Lock exposes the process's global critical-section lock (for
-// instrumentation).
-func (p *Proc) Lock() simlock.Lock { return p.cs.lock }
+// instrumentation). In a sharded world this is VCI 0's lock.
+func (p *Proc) Lock() simlock.Lock { return p.vcis[0].cs.lock }
 
 // Cost returns the world's timing model.
 func (p *Proc) Cost() machine.CostModel { return p.w.Cfg.Cost }
@@ -364,12 +411,24 @@ func (p *Proc) onPacket(pkt *fabric.Packet) {
 		if len(released) == 0 {
 			return
 		}
-		p.cq = append(p.cq, released...)
+		// Each released packet routes to its own shard's completion queue
+		// (a retransmit flush can release packets of several flows).
+		for _, rp := range released {
+			if len(p.vcis) > 1 && rp.Kind == fabric.Revoke {
+				// Sharded runtime: revocations are consumed at driver
+				// level, like heartbeats — the threads a Revoke must
+				// unblock may only ever poll other shards, so it cannot
+				// wait in one shard's completion queue.
+				p.consumeRevoke(rp)
+				continue
+			}
+			p.vcis[rp.VCI].cq = append(p.vcis[rp.VCI].cq, rp)
+		}
 		p.w.deliveredTotal += int64(len(released))
 		p.activity.WakeAll(p.w.Eng.Now())
 		return
 	}
-	p.cq = append(p.cq, pkt)
+	p.vcis[pkt.VCI].cq = append(p.vcis[pkt.VCI].cq, pkt)
 	p.w.deliveredTotal++
 	p.activity.WakeAll(p.w.Eng.Now())
 }
@@ -459,6 +518,16 @@ func (w *World) SpawnAsyncProgress(rank int) *Thread {
 	th := w.spawn(rank, "async-progress", func(th *Thread) {
 		th.S.SetDaemon()
 		th.noBackoff = true
+		if th.P.numVCI() > 1 {
+			// One async thread drives every shard's progress engine in
+			// turn, taking each shard lock independently.
+			for {
+				for v := range th.P.vcis {
+					th.progressRoundVCI(v, simlock.Low, nil)
+				}
+				th.progressYield()
+			}
+		}
 		for {
 			th.progressRound(simlock.Low, nil)
 			th.progressYield()
@@ -473,12 +542,12 @@ func (w *World) SpawnAsyncProgress(rank int) *Thread {
 // progressRound, which honour the configured granularity.
 //
 //simcheck:allow lockpair test-only wrapper; tests pair enter/exit themselves
-func (th *Thread) enter(cl simlock.Class) { th.P.cs.enter(th, cl) }
+func (th *Thread) enter(cl simlock.Class) { th.P.vcis[0].cs.enter(th, cl) }
 
 // exit releases the process's global critical section.
 //
 //simcheck:allow lockpair test-only wrapper; tests pair enter/exit themselves
-func (th *Thread) exit(cl simlock.Class) { th.P.cs.exit(th, cl) }
+func (th *Thread) exit(cl simlock.Class) { th.P.vcis[0].cs.exit(th, cl) }
 
 func (th *Thread) cost() machine.CostModel { return th.P.w.Cfg.Cost }
 

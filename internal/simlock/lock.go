@@ -133,6 +133,10 @@ const (
 	// hand-offs with a bounded batch (extension; the principled version
 	// of §7's socket-aware idea).
 	KindCohort
+	// KindCLH is the CLH queue lock: FCFS like the ticket lock, but each
+	// waiter spins locally on its predecessor's node line, so hand-offs
+	// skip the shared-line spin-phase alignment (related work §8).
+	KindCLH
 )
 
 // String names the lock kind as used in figures ("Mutex", "Ticket", ...).
@@ -156,6 +160,8 @@ func (k Kind) String() string {
 		return "Single"
 	case KindCohort:
 		return "Cohort"
+	case KindCLH:
+		return "CLH"
 	default:
 		return "UnknownLock"
 	}
@@ -204,6 +210,8 @@ func New(k Kind, cfg *Config) Lock {
 		return NullLock{cfg: cfg}
 	case KindCohort:
 		return NewCohortLock(cfg)
+	case KindCLH:
+		return NewCLHLock(cfg)
 	default:
 		panic("simlock: unknown kind")
 	}

@@ -75,7 +75,7 @@ func (h *harness) run(t *testing.T, nthreads, iters int, hold, gap int64,
 }
 
 func TestMutualExclusionAllKinds(t *testing.T) {
-	kinds := []Kind{KindMutex, KindTicket, KindPriority, KindTAS, KindMCS, KindPrioMutex, KindSocketPriority}
+	kinds := []Kind{KindMutex, KindTicket, KindPriority, KindTAS, KindMCS, KindPrioMutex, KindSocketPriority, KindCLH}
 	for _, k := range kinds {
 		t.Run(k.String(), func(t *testing.T) {
 			h := newHarness(t, k, 42)
@@ -94,7 +94,7 @@ func TestMutualExclusionAllKinds(t *testing.T) {
 func TestAllThreadsComplete(t *testing.T) {
 	// Starvation must be bounded in a finite run for every kind except
 	// the deliberately starvation-prone socket-priority ablation.
-	for _, k := range []Kind{KindMutex, KindTicket, KindPriority, KindMCS} {
+	for _, k := range []Kind{KindMutex, KindTicket, KindPriority, KindMCS, KindCLH} {
 		t.Run(k.String(), func(t *testing.T) {
 			h := newHarness(t, k, 7)
 			h.run(t, 8, 20, 200, 10, nil)
@@ -335,7 +335,7 @@ func TestSocketPriorityStarvation(t *testing.T) {
 
 // TestGrantWaiterSnapshots: waiters never include the new holder.
 func TestGrantWaiterSnapshots(t *testing.T) {
-	for _, k := range []Kind{KindMutex, KindTicket, KindPriority, KindMCS} {
+	for _, k := range []Kind{KindMutex, KindTicket, KindPriority, KindMCS, KindCLH} {
 		h := newHarness(t, k, 23)
 		h.run(t, 4, 30, 200, 10, nil)
 		for _, g := range h.grants {
@@ -398,7 +398,7 @@ func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
 		KindMutex: "Mutex", KindTicket: "Ticket", KindPriority: "Priority",
 		KindTAS: "TAS", KindMCS: "MCS", KindPrioMutex: "PrioMutex",
-		KindSocketPriority: "SocketPriority",
+		KindSocketPriority: "SocketPriority", KindCLH: "CLH",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -1,0 +1,91 @@
+package telemetry
+
+// Per-VCI contention grouping: the sharded runtime names each shard's
+// critical-section lock "cs[r<rank>.v<shard>]", so a profile of a
+// multi-VCI run carries one LockProfile row per shard. GroupVCILocks
+// folds those rows back into per-family aggregates — one row per rank's
+// shard family — so figures can compare "all of rank 0's shard sections"
+// against the rank's single shared-NIC injection lock without hardcoding
+// the shard count.
+
+import (
+	"sort"
+	"strings"
+)
+
+// LockGroup is the aggregate of one lock family in a profile: either the
+// per-VCI shards of one rank (name with the shard index wildcarded, e.g.
+// "cs[r0.v*]") or a single unsharded lock (name unchanged).
+type LockGroup struct {
+	Name string
+	// Members counts the lock rows folded into the group (1 for an
+	// unsharded lock).
+	Members int
+	// Acquisitions, HighAcq, LowAcq, Uncontended and UsefulAcq sum the
+	// members' counters.
+	Acquisitions int64
+	HighAcq      int64
+	LowAcq       int64
+	Uncontended  int64
+	UsefulAcq    int64
+	// WaitNs is the total simulated time threads spent waiting on the
+	// family (sum over members of mean wait x wait count).
+	WaitNs float64
+	// MaxWaitNs is the worst single wait across the family.
+	MaxWaitNs int64
+}
+
+// vciFamily returns the family name of a lock: "cs[r0.v3]" folds to
+// "cs[r0.v*]"; any other shape is its own family.
+func vciFamily(name string) string {
+	i := strings.LastIndex(name, ".v")
+	if i < 0 || !strings.HasSuffix(name, "]") {
+		return name
+	}
+	digits := name[i+2 : len(name)-1]
+	if digits == "" {
+		return name
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i+2] + "*]"
+}
+
+// GroupVCILocks folds a profile's lock rows into per-family groups,
+// sorted by family name. Safe on a nil profile.
+func GroupVCILocks(p *Profile) []LockGroup {
+	if p == nil {
+		return nil
+	}
+	byName := map[string]*LockGroup{}
+	var names []string
+	for i := range p.Locks {
+		lp := &p.Locks[i]
+		fam := vciFamily(lp.Name)
+		g := byName[fam]
+		if g == nil {
+			g = &LockGroup{Name: fam}
+			byName[fam] = g
+			names = append(names, fam)
+		}
+		g.Members++
+		g.Acquisitions += lp.Acquisitions
+		g.HighAcq += lp.HighAcq
+		g.LowAcq += lp.LowAcq
+		g.Uncontended += lp.Uncontended
+		g.UsefulAcq += lp.UsefulAcq
+		g.WaitNs += lp.Wait.MeanNs * float64(lp.Wait.Count)
+		if lp.Wait.MaxNs > g.MaxWaitNs {
+			g.MaxWaitNs = lp.Wait.MaxNs
+		}
+	}
+	sort.Strings(names)
+	out := make([]LockGroup, len(names))
+	for i, n := range names {
+		out[i] = *byName[n]
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import "testing"
+
+func TestVCIFamily(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"cs[r0.v0]", "cs[r0.v*]"},
+		{"cs[r3.v17]", "cs[r3.v*]"},
+		{"cs[r0]", "cs[r0]"},
+		{"nic[r2]", "nic[r2]"},
+		{"queue[r1]", "queue[r1]"},
+		{"cs[r0.vx]", "cs[r0.vx]"}, // non-numeric shard: not a family
+		{"cs[r0.v]", "cs[r0.v]"},   // empty shard index: not a family
+		{"weird.v3", "weird.v3"},   // no bracket suffix: not a family
+	}
+	for _, c := range cases {
+		if got := vciFamily(c.in); got != c.want {
+			t.Errorf("vciFamily(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGroupVCILocks(t *testing.T) {
+	p := &Profile{Locks: []LockProfile{
+		{Name: "cs[r0.v0]", Acquisitions: 10, HighAcq: 6, LowAcq: 4, Uncontended: 2,
+			UsefulAcq: 3, Wait: HistStats{Count: 4, MeanNs: 100, MaxNs: 250}},
+		{Name: "cs[r0.v1]", Acquisitions: 20, HighAcq: 12, LowAcq: 8, Uncontended: 5,
+			UsefulAcq: 7, Wait: HistStats{Count: 2, MeanNs: 50, MaxNs: 900}},
+		{Name: "nic[r0]", Acquisitions: 30, HighAcq: 30, Uncontended: 1,
+			Wait: HistStats{Count: 10, MeanNs: 10, MaxNs: 40}},
+		{Name: "cs[r1.v0]", Acquisitions: 5},
+	}}
+	gs := GroupVCILocks(p)
+	if len(gs) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(gs), gs)
+	}
+	// Sorted by name: cs[r0.v*], cs[r1.v*], nic[r0].
+	g := gs[0]
+	if g.Name != "cs[r0.v*]" || g.Members != 2 {
+		t.Fatalf("group 0 = %+v, want cs[r0.v*] with 2 members", g)
+	}
+	if g.Acquisitions != 30 || g.HighAcq != 18 || g.LowAcq != 12 ||
+		g.Uncontended != 7 || g.UsefulAcq != 10 {
+		t.Errorf("cs[r0.v*] sums wrong: %+v", g)
+	}
+	if g.WaitNs != 4*100+2*50 {
+		t.Errorf("cs[r0.v*] WaitNs = %v, want 500", g.WaitNs)
+	}
+	if g.MaxWaitNs != 900 {
+		t.Errorf("cs[r0.v*] MaxWaitNs = %v, want 900", g.MaxWaitNs)
+	}
+	if gs[1].Name != "cs[r1.v*]" || gs[1].Members != 1 || gs[1].Acquisitions != 5 {
+		t.Errorf("group 1 = %+v, want cs[r1.v*] singleton", gs[1])
+	}
+	if gs[2].Name != "nic[r0]" || gs[2].Members != 1 || gs[2].WaitNs != 100 {
+		t.Errorf("group 2 = %+v, want nic[r0] with WaitNs 100", gs[2])
+	}
+	if GroupVCILocks(nil) != nil {
+		t.Errorf("nil profile should group to nil")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
+	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/telemetry"
 )
@@ -63,6 +64,17 @@ type N2NParams struct {
 	// peer via tags, making match pools per-thread (shallow) instead of
 	// pooled per-process.
 	PerThreadTags bool
+	// VCIs shards each proc's runtime into this many virtual communication
+	// interfaces (0/1 = the unsharded byte-identical runtime); VCIPolicy
+	// picks the operation→VCI mapping. With PerThreadTags and the
+	// per-tag-hash policy the per-thread streams land on hashed VCIs
+	// (subject to hash collisions); under the Explicit policy the
+	// benchmark instead dups one communicator per thread during setup and
+	// pins thread t's comm to VCI t%VCIs — the per-thread-communicator
+	// pattern the VCI literature recommends, giving a collision-free,
+	// perfectly balanced mapping at every shard count.
+	VCIs      int
+	VCIPolicy vci.Policy
 	// Fault configures the fault-injection plane (zero = perfect network).
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
@@ -118,26 +130,46 @@ func N2N(p N2NParams) (N2NResult, error) {
 	p = p.withDefaults()
 	var res N2NResult
 	w, err := mpi.NewWorld(mpi.Config{
-		Topo:    machine.Nehalem2x4(p.Procs),
-		Lock:    p.Lock,
-		Binding: p.Binding,
-		Seed:    p.Seed,
-		OnGrant: p.onGrant,
-		Fault:   p.Fault,
-		MaxWall: p.MaxWall,
-		Tel:     p.Tel,
+		Topo:      machine.Nehalem2x4(p.Procs),
+		Lock:      p.Lock,
+		Binding:   p.Binding,
+		Seed:      p.Seed,
+		OnGrant:   p.onGrant,
+		Fault:     p.Fault,
+		MaxWall:   p.MaxWall,
+		Tel:       p.Tel,
+		VCIs:      p.VCIs,
+		VCIPolicy: p.VCIPolicy,
 	})
 	if err != nil {
 		return res, err
 	}
 	c := w.Comm()
+	// Under the Explicit policy each thread streams over its own setup-time
+	// communicator pinned to VCI t%VCIs: matching is per-thread by context
+	// and the shard mapping is exact, not hashed.
+	var comms []*mpi.Comm
+	if p.VCIPolicy == vci.Explicit {
+		n := p.VCIs
+		if n < 1 {
+			n = 1
+		}
+		comms = make([]*mpi.Comm, p.Threads)
+		for t := range comms {
+			comms[t] = w.SetupComm().SetVCI(t % n)
+		}
+	}
 	var endAt int64
 	for rank := 0; rank < p.Procs; rank++ {
 		rank := rank
 		for t := 0; t < p.Threads; t++ {
 			t := t
+			tc := c
+			if comms != nil {
+				tc = comms[t]
+			}
 			w.Spawn(rank, "n2n", func(th *mpi.Thread) {
-				runN2NThread(th, c, p, rank, t, &endAt)
+				runN2NThread(th, tc, p, rank, t, &endAt)
 			})
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"mpicontend/internal/graph500"
 	"mpicontend/internal/machine"
 	"mpicontend/internal/mpi"
+	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/stencil"
@@ -170,6 +171,9 @@ const (
 	SocketPriority
 	// Cohort is a NUMA-aware bounded-batch cohort lock (extension).
 	Cohort
+	// CLH is the CLH queue lock: FCFS hand-off on per-waiter flags
+	// (related work; the queue-lock family's cache-friendly variant).
+	CLH
 )
 
 // String names the lock as in the paper's figures.
@@ -195,6 +199,8 @@ func (l Lock) kind() simlock.Kind {
 		return simlock.KindSocketPriority
 	case Cohort:
 		return simlock.KindCohort
+	case CLH:
+		return simlock.KindCLH
 	default:
 		panic(fmt.Sprintf("mpisim: unknown lock %d", int(l)))
 	}
@@ -361,6 +367,36 @@ func Latency(c LatencyConfig) (LatencyResult, error) {
 		Net: netStats(r.Net)}, nil
 }
 
+// VCIPolicy selects how operations are mapped onto a proc's virtual
+// communication interfaces when VCIs > 1.
+type VCIPolicy int
+
+// Mapping policies of the sharded runtime.
+const (
+	// PerComm maps all traffic of one communicator to one VCI.
+	PerComm VCIPolicy = iota
+	// PerTagHash maps by (communicator, tag), spreading one communicator
+	// over all VCIs when tags differ (e.g. one tag per thread).
+	PerTagHash
+	// ExplicitVCI uses the communicator's explicit VCI assignment,
+	// falling back to PerComm for unassigned communicators.
+	ExplicitVCI
+)
+
+// String names the policy as used in figures and flags.
+func (p VCIPolicy) String() string { return p.policy().String() }
+
+func (p VCIPolicy) policy() vci.Policy {
+	switch p {
+	case PerTagHash:
+		return vci.PerTagHash
+	case ExplicitVCI:
+		return vci.Explicit
+	default:
+		return vci.PerComm
+	}
+}
+
 // N2NConfig parametrizes the all-to-all streaming benchmark (paper §5.2).
 type N2NConfig struct {
 	Lock     Lock
@@ -369,6 +405,17 @@ type N2NConfig struct {
 	MsgBytes int64
 	Windows  int
 	Seed     uint64
+	// PerThreadTags pairs thread t of each rank with thread t of every
+	// peer via tags, making match pools per-thread instead of pooled
+	// per-process (and, with PerTagHash VCIs, per-VCI).
+	PerThreadTags bool
+	// VCIs shards each proc's runtime into this many virtual
+	// communication interfaces, each with its own matching queues,
+	// request pool and critical-section lock (0/1 = the unsharded
+	// runtime, byte-identical to earlier versions). VCIPolicy picks the
+	// operation→VCI mapping.
+	VCIs      int
+	VCIPolicy VCIPolicy
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
 	// Telemetry attaches the deterministic observability plane (nil =
@@ -390,6 +437,8 @@ func N2N(c N2NConfig) (N2NResult, error) {
 	r, err := workloads.N2N(workloads.N2NParams{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
+		PerThreadTags: c.PerThreadTags,
+		VCIs:          c.VCIs, VCIPolicy: c.VCIPolicy.policy(),
 		Fault: c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
