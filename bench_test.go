@@ -11,6 +11,7 @@ import (
 	"mpicontend/internal/experiments"
 	"mpicontend/internal/fault"
 	"mpicontend/internal/machine"
+	"mpicontend/internal/mpi"
 	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/report"
 	"mpicontend/internal/simlock"
@@ -260,6 +261,33 @@ func BenchmarkVCIScaling1(b *testing.B)  { benchVCI(b, 1) }
 func BenchmarkVCIScaling4(b *testing.B)  { benchVCI(b, 4) }
 func BenchmarkVCIScaling16(b *testing.B) { benchVCI(b, 16) }
 func BenchmarkVCIScaling64(b *testing.B) { benchVCI(b, 64) }
+
+// --- Progress modes ---
+
+// benchProgressMode streams the N2N benchmark (the progress experiment's
+// 1-VCI mutex point) under the given progress mode and reports the
+// message rate: polling is the paper's poll-from-Wait baseline, strong
+// moves the progress loop onto per-shard daemons, and continuation
+// replaces the Waitall polling with completion-queue draining.
+func benchProgressMode(b *testing.B, m mpi.ProgressMode) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.N2N(workloads.N2NParams{
+			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
+			Windows: 4, PerThreadTags: true,
+			VCIs: 1, VCIPolicy: vci.Explicit, Progress: m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.RateMsgsPerSec
+	}
+	b.ReportMetric(rate, "msgs/s")
+}
+
+func BenchmarkProgressModePolling(b *testing.B)      { benchProgressMode(b, mpi.ProgressPolling) }
+func BenchmarkProgressModeStrong(b *testing.B)       { benchProgressMode(b, mpi.ProgressStrong) }
+func BenchmarkProgressModeContinuation(b *testing.B) { benchProgressMode(b, mpi.ProgressContinuation) }
 
 // --- Rank-failure recovery ---
 

@@ -40,7 +40,15 @@ func main() {
 	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"parallel workers for the point sweep (1 = serial; output is byte-identical either way)")
+	progressFlag := flag.String("progress", "polling",
+		"progress mode for the experiments that honour it: polling|strong|continuation (see docs/PROGRESS.md)")
 	flag.Parse()
+
+	progress, err := parseProgress(*progressFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpistorm: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -83,7 +91,6 @@ func main() {
 	}
 
 	start := time.Now()
-	var err error
 	if *jobs <= 1 {
 		// Strictly serial: every point runs on this goroutine, in
 		// declaration order, exactly as the original single-threaded
@@ -91,7 +98,7 @@ func main() {
 		for _, id := range ids {
 			expStart := time.Now()
 			var figs []mpisim.Figure
-			figs, err = mpisim.RunExperimentSeeded(id, *quick, *seed)
+			figs, err = mpisim.RunExperimentMode(id, *quick, *seed, progress)
 			if err != nil {
 				break
 			}
@@ -107,7 +114,8 @@ func main() {
 		}
 	} else {
 		err = mpisim.SweepFunc(
-			mpisim.SweepConfig{IDs: ids, Quick: *quick, Seed: *seed, Jobs: *jobs},
+			mpisim.SweepConfig{IDs: ids, Quick: *quick, Seed: *seed, Jobs: *jobs,
+				Progress: progress},
 			func(r mpisim.SweepResult) error {
 				for _, f := range r.Figures {
 					if err := emit(f); err != nil {
@@ -123,4 +131,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "(total %.1fs, jobs=%d)\n", time.Since(start).Seconds(), *jobs)
+}
+
+// parseProgress maps the -progress flag value to a progress mode.
+func parseProgress(s string) (mpisim.ProgressMode, error) {
+	switch s {
+	case "polling", "":
+		return mpisim.PollingProgress, nil
+	case "strong":
+		return mpisim.StrongProgress, nil
+	case "continuation":
+		return mpisim.ContinuationProgress, nil
+	default:
+		return 0, fmt.Errorf("unknown -progress mode %q (polling|strong|continuation)", s)
+	}
 }

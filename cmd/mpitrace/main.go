@@ -43,10 +43,17 @@ func main() {
 	check := flag.Bool("check", false, "validate the emitted trace and profile against their schemas")
 	jobs := flag.Int("jobs", runtime.NumCPU(),
 		"parallel workers when tracing several experiments (1 = serial; output is byte-identical either way)")
+	progressFlag := flag.String("progress", "polling",
+		"progress mode for the probes that honour it: polling|strong|continuation (see docs/PROGRESS.md)")
 	flag.Parse()
 
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "mpitrace: -experiment is required (see mpistorm -list)")
+		os.Exit(2)
+	}
+	progress, err := parseProgress(*progressFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpitrace: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -58,8 +65,8 @@ func main() {
 	// Tracing an experiment is an isolated simulation, so several trace
 	// like any other point sweep: fan across workers, render in id order.
 	results := make([]traced, len(ids))
-	err := mpisim.RunPoints(*jobs, len(ids), func(i int) error {
-		tel, desc, err := mpisim.TraceExperiment(ids[i], *quick, *seed)
+	err = mpisim.RunPoints(*jobs, len(ids), func(i int) error {
+		tel, desc, err := mpisim.TraceExperimentMode(ids[i], *quick, *seed, progress)
 		if err != nil {
 			return err
 		}
@@ -121,4 +128,18 @@ func render(id string, r traced, dir string, check, multi bool) error {
 		fmt.Print(r.tel.ProfileText())
 	}
 	return nil
+}
+
+// parseProgress maps the -progress flag value to a progress mode.
+func parseProgress(s string) (mpisim.ProgressMode, error) {
+	switch s {
+	case "polling", "":
+		return mpisim.PollingProgress, nil
+	case "strong":
+		return mpisim.StrongProgress, nil
+	case "continuation":
+		return mpisim.ContinuationProgress, nil
+	default:
+		return 0, fmt.Errorf("unknown -progress mode %q (polling|strong|continuation)", s)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpicontend/internal/mpi"
 	"mpicontend/internal/report"
 )
 
@@ -28,6 +29,10 @@ type Options struct {
 	// mirror the paper's axes.
 	Quick bool
 	Seed  uint64
+	// Progress overrides the progress mode of the probes that honour it
+	// (the N2N-shaped ones; see Probe). The progress experiment sweeps
+	// all modes itself and ignores this. Default polling.
+	Progress mpi.ProgressMode
 }
 
 func (o Options) seed() uint64 {

@@ -193,6 +193,7 @@ func fig6b(o Options, pl *Plan) ([]*report.Table, error) {
 			p := workloads.N2NParams{
 				Lock: k, Procs: 4, Threads: 8, MsgBytes: bytes,
 				Windows: o.windows(), Seed: o.seed(),
+				Progress: o.Progress,
 			}
 			rate := pl.Value(func() (float64, error) {
 				r, err := workloads.N2N(p)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mpicontend/internal/fault"
+	"mpicontend/internal/mpi"
 	"mpicontend/internal/mpi/vci"
 	"mpicontend/internal/simlock"
 	"mpicontend/internal/telemetry"
@@ -44,7 +45,8 @@ func Probe(id string, o Options, rec *telemetry.Recorder) (string, error) {
 		// N2N streaming under the priority lock (the §5.2 shape).
 		p := workloads.N2NParams{
 			Lock: simlock.KindPriority, Procs: 4, Threads: 4,
-			MsgBytes: 512, Windows: windows, Seed: o.seed(), Tel: rec,
+			MsgBytes: 512, Windows: windows, Seed: o.seed(),
+			Progress: o.Progress, Tel: rec,
 		}
 		_, err := workloads.N2N(p)
 		return fmt.Sprintf("n2n lock=Priority procs=%d threads=%d bytes=%d",
@@ -94,11 +96,30 @@ func Probe(id string, o Options, rec *telemetry.Recorder) (string, error) {
 		p := workloads.N2NParams{
 			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
 			Windows: windows, Seed: o.seed(), PerThreadTags: true,
-			VCIs: 16, VCIPolicy: vci.Explicit, Tel: rec,
+			VCIs: 16, VCIPolicy: vci.Explicit, Progress: o.Progress, Tel: rec,
 		}
 		_, err := workloads.N2N(p)
 		return fmt.Sprintf("n2n lock=Mutex vcis=16 policy=%v threads=%d bytes=%d",
 			vci.Explicit, p.Threads, p.MsgBytes), err
+
+	case id == "progress":
+		// The remedy's contended heart: the same N2N point as the vci
+		// probe but with continuation-mode completion on the unsharded
+		// runtime under the mutex — the daemons' useful-only low-class
+		// acquisitions replacing the polling storm the priority lock was
+		// invented for. -progress overrides the mode to compare shapes.
+		mode := mpi.ProgressContinuation
+		if o.Progress != mpi.ProgressPolling {
+			mode = o.Progress
+		}
+		p := workloads.N2NParams{
+			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
+			Windows: windows, Seed: o.seed(), PerThreadTags: true,
+			VCIs: 1, VCIPolicy: vci.Explicit, Progress: mode, Tel: rec,
+		}
+		_, err := workloads.N2N(p)
+		return fmt.Sprintf("n2n lock=Mutex progress=%v threads=%d bytes=%d",
+			mode, p.Threads, p.MsgBytes), err
 
 	case id == "chaos":
 		// The resilience soak's shape: throughput over a lossy network.

@@ -203,6 +203,14 @@ func (th *Thread) irecvWild(c *Comm, src, tag int, maxBytes int64) *Request {
 // if any, after the configured error handler runs (MPI_ERRORS_ARE_FATAL,
 // the default, panics instead of returning).
 func (th *Thread) Wait(r *Request) error {
+	if r.freed && !r.complete {
+		return r.raiseAs(ErrRequest)
+	}
+	if th.P.w.eventDriven() {
+		// Strong/continuation progress: park until a completion event
+		// instead of iterating the progress loop (progressd.go).
+		return th.waitEvent(r)
+	}
 	if r.freed {
 		return r.raiseAs(ErrRequest)
 	}
@@ -290,6 +298,12 @@ func (th *Thread) waitVCI(r *Request) error {
 func (th *Thread) Waitall(rs []*Request) error {
 	if len(rs) == 0 {
 		return nil
+	}
+	switch th.P.w.Cfg.Progress {
+	case ProgressStrong:
+		return th.waitallEvent(rs)
+	case ProgressContinuation:
+		return th.waitallCont(rs)
 	}
 	if th.P.numVCI() > 1 {
 		return th.waitallVCI(rs)

@@ -71,6 +71,14 @@ type Request struct {
 	// nextFree links the world's request free list while pooled.
 	nextFree *Request
 
+	// onComplete is the registered continuation (progressd.go): dispatched
+	// by the progress engine exactly once, at completion time, after which
+	// the runtime frees the request itself.
+	onComplete func(r *Request, err error)
+	// cq, when non-nil, delivers the completed request onto the owning
+	// thread's completion queue instead of a callback.
+	cq *CompletionQueue
+
 	// vci is the virtual communication interface the request lives on
 	// (always 0 in the unsharded runtime). A cross-VCI wildcard receive
 	// starts at -1 (posted on every shard) and is bound to the shard that
@@ -130,6 +138,32 @@ func (r *Request) markComplete(at sim.Time) {
 		// Event-driven progress (§9): completions wake parked waiters.
 		r.p.activity.WakeAll(at)
 	}
+	if r.p.w.eventDriven() {
+		// Strong/continuation progress (progressd.go): bump the proc's
+		// completion sequence (closes the check-then-park window of
+		// waitEvent/waitallEvent), dispatch any registered continuation or
+		// completion-queue delivery from right here — the completing
+		// context — and wake parked waiters.
+		r.p.completeSeq++
+		if r.cq != nil {
+			r.deliverCQ(at)
+		} else if r.onComplete != nil {
+			//simcheck:allow hotalloc continuation dispatch escapes the receiver; fires once per completed request
+			r.fire(at)
+		}
+		r.p.activity.WakeAll(at)
+	}
+}
+
+// deliverCQ hands the completed request to its completion queue: the
+// runtime frees it here, in the completing context, and the drain side
+// only reads payload and error afterwards. CQ-delivered requests are
+// never recycled — the drained object stays readable.
+func (r *Request) deliverCQ(at sim.Time) {
+	q := r.cq
+	r.cq = nil
+	r.free()
+	q.push(r, at)
 }
 
 // fail completes the request unsuccessfully with the given error class.

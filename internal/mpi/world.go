@@ -12,6 +12,13 @@
 // re-acquiring the CS (low priority) around each poll — the yield window in
 // which lock arbitration decides who advances.
 //
+// Three progress modes share that machinery (docs/PROGRESS.md). The
+// default, polling, is the paper's shape above. Strong progress moves the
+// progress loop onto a dedicated daemon simthread per VCI shard so blocked
+// application threads park instead of polling; continuation mode adds
+// completion-time callbacks (Request.OnComplete) and CompletionQueue
+// draining on top, removing the per-request wait loop entirely.
+//
 // mpi is part of the deterministic core (docs/ARCHITECTURE.md); the
 // lockpair analyzer enforces its critical-section discipline.
 package mpi
@@ -101,6 +108,14 @@ type Config struct {
 	// VCIPolicy selects how operations map onto VCIs (per-comm,
 	// per-tag-hash, explicit hint); see internal/mpi/vci.
 	VCIPolicy vci.Policy
+	// Progress selects who drives the progress engine (progressd.go):
+	// ProgressPolling (default, the paper's poll-from-Wait shape,
+	// byte-identical to the pre-existing code paths), ProgressStrong
+	// (a dedicated progress daemon per VCI shard; blocked threads park),
+	// or ProgressContinuation (strong progress plus OnComplete callbacks
+	// and CompletionQueue draining). Non-polling modes require
+	// MPI_THREAD_MULTIPLE and GranGlobal.
+	Progress ProgressMode
 	// Tel, when non-nil, attaches the telemetry plane: MPI-call spans,
 	// lock wait/hold spans per priority class, progress-poll spans,
 	// request-lifecycle gauges, and fabric flight spans all record
@@ -121,8 +136,9 @@ type World struct {
 
 	wins        []*Win
 	danglingNow int
-	appThreads  int // live non-daemon threads; world stops at zero
-	nextCtx     int // user context ids handed out by Dup/Split
+	appThreads  int  // live non-daemon threads; world stops at zero
+	nextCtx     int  // user context ids handed out by Dup/Split
+	progressd   bool // progress daemons started (strong/continuation modes)
 
 	// Fault/resilience plane (nil and zero on a perfect network).
 	plane      *fault.Plane
@@ -192,6 +208,18 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.ThreadLevel.lockless() {
 			return nil, fmt.Errorf("mpi: %d VCIs require MPI_THREAD_MULTIPLE "+
 				"(sharding a lockless runtime is meaningless)", cfg.VCIs)
+		}
+	}
+	if cfg.Progress != ProgressPolling {
+		if cfg.Granularity != GranGlobal {
+			return nil, fmt.Errorf("mpi: %v progress requires GranGlobal, got %v "+
+				"(the daemons drive whole-shard critical sections)",
+				cfg.Progress, cfg.Granularity)
+		}
+		if cfg.ThreadLevel.lockless() {
+			return nil, fmt.Errorf("mpi: %v progress requires MPI_THREAD_MULTIPLE "+
+				"(progress daemons share runtime state with application threads)",
+				cfg.Progress)
 		}
 	}
 	if cfg.ThreadLevel.lockless() {
@@ -294,8 +322,12 @@ func (w *World) DanglingNow() int { return w.danglingNow }
 
 // Run executes the simulation until all non-daemon threads finish. A
 // progress-watchdog stall takes precedence over the engine's own result,
-// since the watchdog stops the engine cleanly to attach its report.
+// since the watchdog stops the engine cleanly to attach its report. Under
+// strong/continuation progress the per-shard daemons spawn here, after
+// the application threads, so app-thread core placement is unchanged
+// across modes.
 func (w *World) Run() error {
+	w.startProgressDaemons()
 	err := w.Eng.Run()
 	if w.stallErr != nil {
 		return w.stallErr
@@ -365,6 +397,10 @@ type Proc struct {
 	nthreads    int
 	outstanding int // active requests (incl. RMA ops) not yet freed
 	danglingNow int // completed-but-not-freed requests of this proc
+	// completeSeq counts request completions on this proc; event-driven
+	// waiters snapshot it before parking so a completion between their
+	// checked state section and the park is never lost (progressd.go).
+	completeSeq int64
 
 	// Thread-level contract tracking (ThreadSingle/Funneled/Serialized).
 	mainThread *Thread
@@ -454,6 +490,9 @@ type Thread struct {
 	// acquisitions made while set are counted as error-path traffic
 	// (only ever set when the fault-tolerance plane is armed).
 	errPath bool
+	// cq is the thread's internal completion queue, lazily created by the
+	// continuation-mode Waitall (empty between calls).
+	cq *CompletionQueue
 }
 
 // Place returns the core this thread is bound to.

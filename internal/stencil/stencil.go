@@ -40,6 +40,12 @@ type Params struct {
 	// The runtime then runs lock-free, trading parallel communication
 	// for zero thread-safety cost.
 	Funneled bool
+	// Progress selects who drives the progress engine (docs/PROGRESS.md).
+	// Under continuation mode the halo-exchange Waitall drains a
+	// completion queue instead of polling the critical section.
+	// Incompatible with Funneled (non-polling modes need
+	// MPI_THREAD_MULTIPLE; NewWorld rejects the combination).
+	Progress mpi.ProgressMode
 	// Fault configures the fault-injection plane (zero = perfect network).
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
@@ -177,6 +183,7 @@ func Run(p Params) (Result, error) {
 		Seed:        p.Seed,
 		Fault:       p.Fault,
 		MaxWall:     p.MaxWall,
+		Progress:    p.Progress,
 	})
 	if err != nil {
 		return res, err

@@ -107,6 +107,7 @@ type Profile struct {
 	Progress        ProgressProfile `json:"progress"`
 	CriticalPath    CriticalPath    `json:"critical_path"`
 	Dangling        GaugeStats      `json:"dangling"`
+	CompletionQueue GaugeStats      `json:"completion_queue"`
 	UnexpectedQueue HistStats       `json:"unexpected_queue"`
 }
 
@@ -247,6 +248,7 @@ func (r *Recorder) Profile() *Profile {
 		p.Locks = append(p.Locks, ls.profile(r.lockName(int32(i))))
 	}
 	p.Dangling = r.danglingStats()
+	p.CompletionQueue = r.gaugeStats(r.cqdepth)
 	p.UnexpectedQueue = r.unexpected.Stats()
 	return p
 }
@@ -390,25 +392,30 @@ func (r *Recorder) aliveNs() []int64 {
 
 // danglingStats summarizes the dangling-request gauge timeline.
 func (r *Recorder) danglingStats() GaugeStats {
-	g := GaugeStats{Samples: int64(len(r.dangling))}
-	if len(r.dangling) == 0 {
+	return r.gaugeStats(r.dangling)
+}
+
+// gaugeStats summarizes one gauge timeline against the recorded horizon.
+func (r *Recorder) gaugeStats(samples []gaugeSample) GaugeStats {
+	g := GaugeStats{Samples: int64(len(samples))}
+	if len(samples) == 0 {
 		return g
 	}
 	var weighted float64
-	for i, s := range r.dangling {
+	for i, s := range samples {
 		if s.Value > g.Max {
 			g.Max = s.Value
 		}
 		end := r.maxTs
-		if i+1 < len(r.dangling) {
-			end = r.dangling[i+1].At
+		if i+1 < len(samples) {
+			end = samples[i+1].At
 		}
 		weighted += float64(s.Value) * float64(end-s.At)
 	}
-	if span := r.maxTs - r.dangling[0].At; span > 0 {
+	if span := r.maxTs - samples[0].At; span > 0 {
 		g.TimeAvg = weighted / float64(span)
 	} else {
-		g.TimeAvg = float64(r.dangling[len(r.dangling)-1].Value)
+		g.TimeAvg = float64(samples[len(samples)-1].Value)
 	}
 	return g
 }
@@ -442,6 +449,12 @@ func (p *Profile) Text() string {
 		cp.PerMessage.HoldNs, cp.PerMessage.InjectNs, cp.PerMessage.WireNs, cp.PerMessage.UnexpectedNs)
 	fmt.Fprintf(&b, "dangling: avg %.2f, max %d (%d samples)\n",
 		p.Dangling.TimeAvg, p.Dangling.Max, p.Dangling.Samples)
+	if p.CompletionQueue.Samples > 0 {
+		// Only continuation-mode runs sample the gauge; keeping the line
+		// out otherwise preserves pre-existing report output.
+		fmt.Fprintf(&b, "completion queue: avg depth %.2f, max %d (%d samples)\n",
+			p.CompletionQueue.TimeAvg, p.CompletionQueue.Max, p.CompletionQueue.Samples)
+	}
 	fmt.Fprintf(&b, "unexpected queue: %s\n", histLine(p.UnexpectedQueue))
 	return b.String()
 }

@@ -136,6 +136,7 @@ type Recorder struct {
 	lastState []uint8 // per-thread last recorded state, for dedupe
 
 	dangling   []gaugeSample
+	cqdepth    []gaugeSample
 	unexpected Hist
 
 	maxTs int64
@@ -266,6 +267,23 @@ func (r *Recorder) Dangling(at, value int64) {
 	}
 	//simcheck:allow hotalloc amortized gauge-sample growth; the recorder is opt-in
 	r.dangling = append(r.dangling, gaugeSample{At: at, Value: value})
+	r.touch(at)
+}
+
+// CQDepth samples the completion-queue depth gauge (delivered-but-not-
+// drained completions under continuation-mode progress) at the given
+// time — the `cq.depth` metric of the progress experiment.
+func (r *Recorder) CQDepth(at, value int64) {
+	if r == nil {
+		return
+	}
+	// Collapse same-instant samples (batched deliveries) to the last.
+	if n := len(r.cqdepth); n > 0 && r.cqdepth[n-1].At == at {
+		r.cqdepth[n-1].Value = value
+		return
+	}
+	//simcheck:allow hotalloc amortized gauge-sample growth; the recorder is opt-in
+	r.cqdepth = append(r.cqdepth, gaugeSample{At: at, Value: value})
 	r.touch(at)
 }
 

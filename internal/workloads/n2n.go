@@ -75,6 +75,12 @@ type N2NParams struct {
 	// perfectly balanced mapping at every shard count.
 	VCIs      int
 	VCIPolicy vci.Policy
+	// Progress selects who drives the progress engine (docs/PROGRESS.md):
+	// polling (default, the paper's poll-from-Wait shape), strong
+	// (per-shard progress daemons), or continuation (daemons plus
+	// completion-queue Waitall). Non-polling modes require the default
+	// ThreadMultiple/GranGlobal configuration this benchmark uses.
+	Progress mpi.ProgressMode
 	// Fault configures the fault-injection plane (zero = perfect network).
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
@@ -140,6 +146,7 @@ func N2N(p N2NParams) (N2NResult, error) {
 		Tel:       p.Tel,
 		VCIs:      p.VCIs,
 		VCIPolicy: p.VCIPolicy,
+		Progress:  p.Progress,
 	})
 	if err != nil {
 		return res, err

@@ -397,6 +397,39 @@ func (p VCIPolicy) policy() vci.Policy {
 	}
 }
 
+// ProgressMode selects who drives the MPI progress engine
+// (docs/PROGRESS.md).
+type ProgressMode int
+
+// Progress modes of the runtime.
+const (
+	// PollingProgress is the paper's shape: blocked application threads
+	// iterate the progress loop from Wait, re-acquiring the critical
+	// section around every poll. The default.
+	PollingProgress ProgressMode = iota
+	// StrongProgress runs a dedicated progress daemon per VCI shard;
+	// blocked application threads park instead of polling.
+	StrongProgress
+	// ContinuationProgress is strong progress plus completion-time
+	// callbacks and completion-queue draining: Waitall becomes one
+	// batched enqueue and a drain.
+	ContinuationProgress
+)
+
+// String names the progress mode as used in figures and flags.
+func (m ProgressMode) String() string { return m.mode().String() }
+
+func (m ProgressMode) mode() mpi.ProgressMode {
+	switch m {
+	case StrongProgress:
+		return mpi.ProgressStrong
+	case ContinuationProgress:
+		return mpi.ProgressContinuation
+	default:
+		return mpi.ProgressPolling
+	}
+}
+
 // N2NConfig parametrizes the all-to-all streaming benchmark (paper §5.2).
 type N2NConfig struct {
 	Lock     Lock
@@ -416,6 +449,10 @@ type N2NConfig struct {
 	// operation→VCI mapping.
 	VCIs      int
 	VCIPolicy VCIPolicy
+	// Progress selects who drives the progress engine: polling (default),
+	// strong (per-shard progress daemons), or continuation (daemons plus
+	// completion-queue Waitall). See docs/PROGRESS.md.
+	Progress ProgressMode
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
 	// Telemetry attaches the deterministic observability plane (nil =
@@ -439,7 +476,8 @@ func N2N(c N2NConfig) (N2NResult, error) {
 		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
 		PerThreadTags: c.PerThreadTags,
 		VCIs:          c.VCIs, VCIPolicy: c.VCIPolicy.policy(),
-		Fault: c.Fault.config(), Tel: c.Telemetry.recorder(),
+		Progress: c.Progress.mode(),
+		Fault:    c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
 	if err != nil {
 		return N2NResult{}, err
@@ -553,6 +591,9 @@ type StencilConfig struct {
 	// Funneled uses the MPI_THREAD_FUNNELED structure (thread 0
 	// communicates, lock-free runtime) instead of THREAD_MULTIPLE.
 	Funneled bool
+	// Progress selects who drives the progress engine (docs/PROGRESS.md).
+	// Incompatible with Funneled, which runs below MPI_THREAD_MULTIPLE.
+	Progress ProgressMode
 	// Fault injects network/scheduler faults (zero = perfect network).
 	Fault FaultConfig
 }
@@ -572,7 +613,8 @@ func Stencil(c StencilConfig) (StencilResult, error) {
 	r, err := stencil.Run(stencil.Params{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		NX: c.NX, NY: c.NY, NZ: c.NZ, Iters: c.Iters, Seed: c.Seed,
-		Funneled: c.Funneled, Fault: c.Fault.config(),
+		Funneled: c.Funneled, Progress: c.Progress.mode(),
+		Fault: c.Fault.config(),
 	})
 	if err != nil {
 		return StencilResult{}, err
@@ -643,6 +685,14 @@ func RunExperiment(id string, quick bool) ([]Figure, error) {
 // RunExperimentSeeded is RunExperiment with an explicit base RNG seed
 // (0 = the default seed).
 func RunExperimentSeeded(id string, quick bool, seed uint64) ([]Figure, error) {
+	return RunExperimentMode(id, quick, seed, PollingProgress)
+}
+
+// RunExperimentMode is RunExperimentSeeded with an explicit progress mode
+// for the experiments that honour it (the N2N-shaped figures; the
+// progress experiment sweeps every mode itself). PollingProgress
+// reproduces RunExperimentSeeded exactly.
+func RunExperimentMode(id string, quick bool, seed uint64, progress ProgressMode) ([]Figure, error) {
 	e, err := experiments.Get(id)
 	if err != nil {
 		return nil, err
@@ -650,7 +700,7 @@ func RunExperimentSeeded(id string, quick bool, seed uint64) ([]Figure, error) {
 	if id == "table1" {
 		return figuresFor(e, nil), nil
 	}
-	tables, err := e.Run(experiments.Options{Quick: quick, Seed: seed})
+	tables, err := e.Run(experiments.Options{Quick: quick, Seed: seed, Progress: progress.mode()})
 	if err != nil {
 		return nil, err
 	}

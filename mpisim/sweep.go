@@ -20,6 +20,9 @@ type SweepConfig struct {
 	// goroutine, <= 0 means one worker per CPU. Output is byte-identical
 	// at every value — parallelism only changes wall-clock time.
 	Jobs int
+	// Progress sets the progress mode for experiments that honour it
+	// (see RunExperimentMode). Default PollingProgress.
+	Progress ProgressMode
 }
 
 // SweepResult is one experiment's rendered figures.
@@ -57,7 +60,7 @@ func SweepFunc(c SweepConfig, emit func(SweepResult) error) error {
 	if jobs <= 0 {
 		jobs = sweep.DefaultWorkers()
 	}
-	o := experiments.Options{Quick: c.Quick, Seed: c.Seed}
+	o := experiments.Options{Quick: c.Quick, Seed: c.Seed, Progress: c.Progress.mode()}
 	return experiments.RunAllFunc(ids, o, jobs,
 		func(idx int, id string, tables []*report.Table) error {
 			e, err := experiments.Get(id)

@@ -52,8 +52,16 @@ type FigureData = telemetry.FigureJSON
 // the same (id, quick, seed) triple yields byte-identical PerfettoJSON
 // and ProfileJSON output.
 func TraceExperiment(id string, quick bool, seed uint64) (*Telemetry, string, error) {
+	return TraceExperimentMode(id, quick, seed, PollingProgress)
+}
+
+// TraceExperimentMode is TraceExperiment with an explicit progress mode
+// for the probes that honour it (the N2N-shaped ones). PollingProgress
+// reproduces TraceExperiment exactly.
+func TraceExperimentMode(id string, quick bool, seed uint64, progress ProgressMode) (*Telemetry, string, error) {
 	t := NewTelemetry()
-	desc, err := experiments.Probe(id, experiments.Options{Quick: quick, Seed: seed}, t.rec)
+	desc, err := experiments.Probe(id,
+		experiments.Options{Quick: quick, Seed: seed, Progress: progress.mode()}, t.rec)
 	if err != nil {
 		return nil, "", err
 	}
