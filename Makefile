@@ -7,7 +7,7 @@
 #   make figures regenerate the full figure output
 #   make trace   record + validate a Perfetto trace of the fig8a probe
 #   make parity  prove -jobs 1 and -jobs 4 stdout are byte-identical
-#   make bench   run the repo benchmarks and emit BENCH_9.json
+#   make bench   run the repo benchmarks and emit BENCH_10.json
 #   make simcheck-bench  time the whole-module analysis; fail beyond 60s
 
 GO ?= go
@@ -63,10 +63,11 @@ trace:
 # bytes, and so must the crashy recovery experiment, the full-size
 # sharded-runtime (vci) experiment, and the full-size progress-mode
 # experiment on their own — rank crashes, heartbeat detection, the
-# revoke/shrink error path, the per-VCI critical sections, and the
-# progress daemons/continuation dispatch are simulated state like any
-# other, so the same seed must reproduce them bit-for-bit at any worker
-# count. cmp exits non-zero on the first differing byte.
+# revoke/shrink error path, the per-VCI critical sections, the
+# progress daemons/continuation dispatch, and the partitioned channels'
+# lock-free readiness bitmaps are simulated state like any other, so the
+# same seed must reproduce them bit-for-bit at any worker count. cmp
+# exits non-zero on the first differing byte.
 parity:
 	$(GO) build -o /tmp/mpistorm-parity ./cmd/mpistorm
 	/tmp/mpistorm-parity -experiment all -quick -jobs 1 > /tmp/parity-jobs1.txt
@@ -81,11 +82,14 @@ parity:
 	/tmp/mpistorm-parity -experiment progress -jobs 1 > /tmp/parity-progress-jobs1.txt
 	/tmp/mpistorm-parity -experiment progress -jobs 4 > /tmp/parity-progress-jobs4.txt
 	cmp /tmp/parity-progress-jobs1.txt /tmp/parity-progress-jobs4.txt
+	/tmp/mpistorm-parity -experiment partitioned -jobs 1 > /tmp/parity-partitioned-jobs1.txt
+	/tmp/mpistorm-parity -experiment partitioned -jobs 4 > /tmp/parity-partitioned-jobs4.txt
+	cmp /tmp/parity-partitioned-jobs1.txt /tmp/parity-partitioned-jobs4.txt
 	@echo "parity OK: -jobs 1 and -jobs 4 output is byte-identical"
 
 # Benchmark report: one timed pass over the repository benchmarks
 # (-benchtime=1x keeps it minutes, and allocs/op is exact either way),
-# parsed into BENCH_9.json by cmd/benchjson. CI uploads the file as an
+# parsed into BENCH_10.json by cmd/benchjson. CI uploads the file as an
 # artifact so runs can be diffed for perf/allocation regressions.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_9.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/mpi | $(GO) run ./cmd/benchjson -out BENCH_10.json

@@ -17,3 +17,12 @@ func TestHotalloc(t *testing.T) {
 		{Dir: "testdata/src/b", ImportPath: "mpicontend/tdhotalloc/b"},
 	})
 }
+
+// TestHotallocPartitioned runs the analyzer over the partitioned-readiness
+// golden package: the persistent-bitmap idiom (allocate at rearm, pure
+// word ops in the hotpath root, aggregate allocation on the caller's
+// trigger side) produces no findings, while the traced variant of the
+// root is flagged on both of its per-flip allocations.
+func TestHotallocPartitioned(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/p", "mpicontend/tdhotalloc/p")
+}

@@ -1,0 +1,86 @@
+// Package p is the partitioned-readiness golden package: it models the
+// allocation discipline internal/mpi/partitioned.go commits to — a
+// persistent request whose non-triggering readiness transition is a
+// hotpath root over storage allocated once at init — and pins exactly
+// which deviations from that shape the analyzer flags.
+package p
+
+// request models a persistent partitioned request: the readiness words
+// are sized by rearm and reused across epochs, so the steady-state mark
+// path never allocates.
+type request struct {
+	words   []uint64
+	n       int
+	ready   int
+	history []int
+}
+
+// rearm re-arms the mask for an epoch of n partitions. It is the Pstart
+// analogue — not reachable from the hotpath root — so the one-time make
+// that grows the persistent storage is not a finding.
+func (r *request) rearm(n int) {
+	nw := (n + 63) / 64
+	if cap(r.words) < nw {
+		r.words = make([]uint64, nw)
+	}
+	r.words = r.words[:nw]
+	for i := range r.words {
+		r.words[i] = 0
+	}
+	r.n, r.ready = n, 0
+}
+
+// mark is the readiness transition — the markReady analogue. Pure word
+// arithmetic on preallocated storage: the analyzer must stay silent on
+// every line, which is the golden pin that the real fast path's shape is
+// allocation-free by construction.
+//
+//simcheck:hotpath
+func (r *request) mark(i int) (trigger bool) {
+	w, b := i/64, uint(i%64)
+	if r.words[w]&(1<<b) != 0 {
+		return false
+	}
+	r.words[w] |= 1 << b
+	r.ready++
+	return r.ready == r.n
+}
+
+// markTraced is the variant the fast path must not become: recording each
+// flip allocates on every call, once for the history append and once for
+// the label concatenation.
+//
+//simcheck:hotpath
+func (r *request) markTraced(i int, tag string) bool {
+	r.history = append(r.history, i) // want `append may grow its backing array on the hot path \(reachable from //simcheck:hotpath root .*markTraced\)`
+	label := tag + ":ready"          // want `string concatenation on the hot path \(reachable from //simcheck:hotpath root .*markTraced\)`
+	_ = label
+	return r.mark(i)
+}
+
+// packet models the aggregated wire transfer the trigger fires.
+type packet struct {
+	lo, hi int
+}
+
+// send is the trigger side — the partTrigger analogue. It is invoked by
+// the caller that observed trigger=true, not by the root itself, so its
+// per-epoch packet allocation stays off the hot path: the design split
+// the golden test pins is "allocate once per aggregate outside the root,
+// never per partition inside it".
+func (r *request) send() *packet {
+	return &packet{lo: 0, hi: r.n}
+}
+
+// epoch drives one full cycle the way Pready's caller does: re-arm, flip
+// every partition through the root, fire the aggregate on trigger. Not a
+// root itself, so none of this is flagged.
+func epoch(r *request, n int) *packet {
+	r.rearm(n)
+	for i := 0; i < n; i++ {
+		if r.mark(i) {
+			return r.send()
+		}
+	}
+	return nil
+}

@@ -342,3 +342,84 @@ func TestClaimCheckersRejectPerturbedTables(t *testing.T) {
 		}
 	}
 }
+
+// claimPartitionedLockAcq: ISSUE 10's acceptance shape — with eager sends
+// every payload message enters the runtime critical section at least
+// once, so the acquisitions-per-message column sits at or above one for
+// every lock; with partitioned channels only the epoch-completing Pready
+// enters, so the column collapses below one per message (toward one per
+// aggregate) and to at most half the eager figure, across all four locks
+// and both shard counts.
+func claimPartitionedLockAcq(tb *report.Table) error {
+	xs, err := claimXs(tb)
+	if err != nil {
+		return err
+	}
+	for _, k := range vciLocks {
+		for _, x := range xs {
+			eager, err := claimVal(tb, k.String()+"/eager", x)
+			if err != nil {
+				return err
+			}
+			part, err := claimVal(tb, k.String()+"/partitioned", x)
+			if err != nil {
+				return err
+			}
+			if eager < 1 {
+				return fmt.Errorf("partitioned-lockacq %v at %g VCIs: eager %.3f acq/msg below one per message",
+					k, x, eager)
+			}
+			if part >= 1 {
+				return fmt.Errorf("partitioned-lockacq %v at %g VCIs: partitioned %.3f acq/msg did not collapse below one per message",
+					k, x, part)
+			}
+			if part > 0.5*eager {
+				return fmt.Errorf("partitioned-lockacq %v at %g VCIs: partitioned %.3f acq/msg not under half of eager %.3f",
+					k, x, part, eager)
+			}
+		}
+	}
+	return nil
+}
+
+// TestPartitionedClaims asserts the partitioned experiment's verdict on
+// its lock-acquisition table (the experiment's headline column; the
+// throughput and chaos tables are shape-checked by the quick-run golden).
+func TestPartitionedClaims(t *testing.T) {
+	t.Parallel()
+	var acq *report.Table
+	for _, tb := range runExp(t, "partitioned") {
+		if tb.ID == "partitioned-lockacq" {
+			acq = tb
+		}
+	}
+	if acq == nil {
+		t.Fatal("partitioned experiment produced no partitioned-lockacq table")
+	}
+	if err := claimPartitionedLockAcq(acq); err != nil {
+		t.Errorf("claim violated: %v\n%s", err, acq.Format())
+	}
+}
+
+// TestPartitionedCheckerRejectsPerturbedTables is the negative control
+// for claimPartitionedLockAcq, mirroring
+// TestClaimCheckersRejectPerturbedTables for the two failure directions.
+func TestPartitionedCheckerRejectsPerturbedTables(t *testing.T) {
+	mk := func(eager, part float64) *report.Table {
+		tb := &report.Table{ID: "partitioned-lockacq"}
+		for _, k := range vciLocks {
+			tb.AddSeries(k.String()+"/eager").Add(1, eager)
+			tb.AddSeries(k.String()+"/partitioned").Add(1, part)
+		}
+		return tb
+	}
+	if err := claimPartitionedLockAcq(mk(2.0, 1.4)); err == nil {
+		t.Error("checker accepted a partitioned path that locks per message")
+	}
+	if err := claimPartitionedLockAcq(mk(2.0, 0.4)); err != nil {
+		t.Errorf("checker rejected the claimed shape: %v", err)
+	}
+	if err := claimPartitionedLockAcq(mk(0.8, 0.3)); err == nil {
+		t.Error("checker accepted an eager path below one acquisition per message")
+	}
+}

@@ -52,7 +52,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig10c", "fig11a", "fig11b", "fig12b",
 		"ablation-spin", "ablation-priomutex", "ablation-socketprio",
 		"ablation-queuelocks", "ablation-granularity", "ablation-wakeup",
-		"suite-patterns", "ablation-funneled", "chaos",
+		"suite-patterns", "ablation-funneled", "chaos", "partitioned",
 	}
 	ids := IDs()
 	have := map[string]bool{}

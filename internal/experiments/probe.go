@@ -121,6 +121,20 @@ func Probe(id string, o Options, rec *telemetry.Recorder) (string, error) {
 		return fmt.Sprintf("n2n lock=Mutex progress=%v threads=%d bytes=%d",
 			mode, p.Threads, p.MsgBytes), err
 
+	case id == "partitioned":
+		// The lock-free fast path's contended heart: partitioned N2N on
+		// the unsharded mutex runtime, where the trace shows one critical
+		// section entry per aggregated transfer (the epoch-completing
+		// Pready) instead of the eager path's per-message storm.
+		p := workloads.N2NParams{
+			Lock: simlock.KindMutex, Procs: 4, Threads: 8, MsgBytes: 2048,
+			Windows: windows, Seed: o.seed(), PerThreadTags: true,
+			Partitioned: true, Progress: o.Progress, Tel: rec,
+		}
+		r, err := workloads.N2N(p)
+		return fmt.Sprintf("n2n lock=Mutex partitioned threads=%d bytes=%d aggregates=%d",
+			p.Threads, p.MsgBytes, r.Part.Aggregates), err
+
 	case id == "chaos":
 		// The resilience soak's shape: throughput over a lossy network.
 		p := workloads.ThroughputParams{

@@ -57,6 +57,12 @@ const (
 	// carries the revoked context id. Sent reliably so revocation
 	// survives a lossy network.
 	Revoke
+	// PartData carries an aggregated partitioned transfer: one packet
+	// covers a contiguous range of ready partitions of a Psend. The range
+	// bounds live in Meta; under the reliable transport each range is
+	// sequence-numbered independently, so a drop retransmits only its own
+	// partitions.
+	PartData
 )
 
 // String names the packet kind; out-of-range values (including negatives)
@@ -64,7 +70,7 @@ const (
 func (k PacketKind) String() string {
 	names := [...]string{"Eager", "RTS", "CTS", "RData", "RMAPut", "RMAGet",
 		"RMAGetReply", "RMAAcc", "RMAAck", "TxDone", "Ack", "Nack",
-		"Heartbeat", "Revoke"}
+		"Heartbeat", "Revoke", "PartData"}
 	if int(k) >= 0 && int(k) < len(names) {
 		return names[k]
 	}

@@ -29,6 +29,16 @@ const (
 	// ErrRevoked reports an operation on (or interrupted by) a revoked
 	// communicator (ULFM MPI_ERR_REVOKED).
 	ErrRevoked
+	// ErrPartInactive reports Pready/PreadyRange/Parrived on a
+	// partitioned request with no active epoch: before the first Start,
+	// or after Wait consumed the epoch (MPI-4.0 semantics; documented
+	// error of partitioned.go).
+	ErrPartInactive
+	// ErrPartDoubleReady reports Pready on a partition already marked
+	// ready in the current epoch. MPI-4.0 declares this erroneous; the
+	// simulated runtime detects it exactly, because the readiness bitmap
+	// observes every transition.
+	ErrPartDoubleReady
 
 	// errcodeEnd marks the end of the error-class enumeration; the
 	// Errcode.String exhaustiveness test walks [0, errcodeEnd) so a new
@@ -54,6 +64,10 @@ func (e Errcode) String() string {
 		return "MPI_ERR_PROC_FAILED"
 	case ErrRevoked:
 		return "MPI_ERR_REVOKED"
+	case ErrPartInactive:
+		return "MPI_ERR_PART_INACTIVE"
+	case ErrPartDoubleReady:
+		return "MPI_ERR_PART_DOUBLE_READY"
 	default:
 		return fmt.Sprintf("Errcode(%d)", int(e))
 	}

@@ -462,3 +462,65 @@ func TestFaultScenariosAcrossLocks(t *testing.T) {
 		})
 	}
 }
+
+// TestPartitionedRetransmitOnlyUnackedRanges: under a seeded drop schedule
+// a partitioned epoch goes out as independently-sequenced segments of at
+// most partSegSpan partitions, and only the segments the receiver never
+// acknowledged are re-sent — partition-granularity recovery, not
+// whole-epoch replay. NetStats.PartRetransmits counts re-sent partitions.
+func TestPartitionedRetransmitOnlyUnackedRanges(t *testing.T) {
+	w := testWorld(t, 2, withFault(fault.Config{DropProb: 0.25}))
+	c := w.Comm()
+	const parts = 64
+	const epochs = 6
+	w.Spawn(0, "sender", func(th *Thread) {
+		ps := th.PsendInit(c, 1, 7, parts, 64, "chaos")
+		for e := 0; e < epochs; e++ {
+			th.Pstart(ps)
+			if err := th.PreadyRange(ps, 0, parts); err != nil {
+				t.Errorf("epoch %d: %v", e, err)
+			}
+			if err := th.Pwait(ps); err != nil {
+				t.Errorf("epoch %d Pwait: %v", e, err)
+			}
+		}
+	})
+	w.Spawn(1, "receiver", func(th *Thread) {
+		pr := th.PrecvInit(c, 0, 7, parts, 64)
+		for e := 0; e < epochs; e++ {
+			th.Pstart(pr)
+			if err := th.Pwait(pr); err != nil {
+				t.Errorf("epoch %d Pwait(recv): %v", e, err)
+			}
+			if pr.Data() != "chaos" {
+				t.Errorf("epoch %d: payload %v", e, pr.Data())
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.NetStats()
+	if s.Fault.Dropped == 0 {
+		t.Fatalf("scenario injected no drops: %v", s)
+	}
+	if s.PartRetransmits == 0 {
+		t.Fatalf("dropped segments survived without partition retransmits: %+v", s)
+	}
+	const total = parts * epochs
+	if s.PartRetransmits >= total {
+		t.Fatalf("retransmitted %d partitions of %d sent: whole-epoch replay, not range-granular", s.PartRetransmits, total)
+	}
+	if s.PartRetransmits%partSegSpan != 0 {
+		t.Fatalf("retransmitted %d partitions: not a multiple of the %d-partition segment span", s.PartRetransmits, partSegSpan)
+	}
+	if s.GiveUps != 0 || s.RequestFailures != 0 {
+		t.Fatalf("unexpected failures: %v", s)
+	}
+	if ps := w.PartStats(); ps.PartRetransmits != s.PartRetransmits {
+		t.Fatalf("PartStats (%d) and NetStats (%d) disagree on retransmitted partitions", ps.PartRetransmits, s.PartRetransmits)
+	}
+	if err := w.CheckClean(); err != nil {
+		t.Fatal(err)
+	}
+}

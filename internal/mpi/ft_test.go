@@ -440,3 +440,103 @@ func TestErrcodeStringExhaustive(t *testing.T) {
 		t.Errorf("sentinel must hit the default case, got %q", s)
 	}
 }
+
+// TestPartitionedCrashSendSide: the receiver dies while the sender keeps
+// opening partitioned epochs. An epoch injected before detection completes
+// locally (TxDone semantics, like an eager send), but once the failure
+// detector declares the peer dead the next Pstart fails at issue and Pwait
+// surfaces ErrProcFailed. The errored inner request must not be eligible
+// for pooling — the Prequest keeps reading it afterwards.
+func TestPartitionedCrashSendSide(t *testing.T) {
+	w := testWorld(t, 2, withCrash(fault.CrashSpec{Rank: 1, AtNs: 150_000}))
+	w.SetErrhandler(ErrorsReturn)
+	c := w.Comm()
+	const parts = 8
+	var waitErr error
+	var inner *Request
+	w.Spawn(0, "sender", func(th *Thread) {
+		ps := th.PsendInit(c, 1, 7, parts, 64, "doomed")
+		for {
+			th.Pstart(ps)
+			inner = ps.Request()
+			if err := th.PreadyRange(ps, 0, parts); err != nil {
+				t.Errorf("PreadyRange: %v", err)
+				return
+			}
+			if waitErr = th.Pwait(ps); waitErr != nil {
+				return
+			}
+			th.S.Sleep(20_000)
+		}
+	})
+	w.Spawn(1, "victim", func(th *Thread) {
+		pr := th.PrecvInit(c, 0, 7, parts, 64)
+		for {
+			th.Pstart(pr)
+			if th.Pwait(pr) != nil {
+				return
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	errCode(t, waitErr, ErrProcFailed)
+	if inner.poolable {
+		t.Fatal("partitioned inner request marked poolable: the pool would reclaim it under the live Prequest")
+	}
+	if w.FaultPlane().Stats().Crashes != 1 {
+		t.Fatalf("crash not counted: %v", w.FaultPlane().Stats())
+	}
+}
+
+// TestPartitionedCrashRecvSide: the sender dies before triggering its
+// epoch. The posted partitioned receive is withdrawn by failure
+// notification, Parrived surfaces ErrProcFailed (instead of spinning
+// forever on a dead peer), Pwait agrees, and the errored inner request is
+// not pooled.
+func TestPartitionedCrashRecvSide(t *testing.T) {
+	w := testWorld(t, 2, withCrash(fault.CrashSpec{Rank: 0, AtNs: 30_000}))
+	w.SetErrhandler(ErrorsReturn)
+	c := w.Comm()
+	const parts = 8
+	var probeErr, waitErr error
+	var inner *Request
+	w.Spawn(0, "victim", func(th *Thread) {
+		ps := th.PsendInit(c, 1, 7, parts, 64, "never-sent")
+		th.Pstart(ps)
+		// Ready only half the epoch, then die before the trigger.
+		if err := th.PreadyRange(ps, 0, parts/2); err != nil {
+			t.Errorf("PreadyRange: %v", err)
+		}
+		for {
+			th.S.Sleep(10_000)
+		}
+	})
+	w.Spawn(1, "receiver", func(th *Thread) {
+		pr := th.PrecvInit(c, 0, 7, parts, 64)
+		th.Pstart(pr)
+		inner = pr.Request()
+		for {
+			arrived, err := th.Parrived(pr, 0)
+			if err != nil {
+				probeErr = err
+				break
+			}
+			if arrived {
+				t.Error("partition arrived from a sender that never triggered")
+				break
+			}
+			th.S.Sleep(5_000)
+		}
+		waitErr = th.Pwait(pr)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	errCode(t, probeErr, ErrProcFailed)
+	errCode(t, waitErr, ErrProcFailed)
+	if inner.poolable {
+		t.Fatal("partitioned inner request marked poolable: the pool would reclaim it under the live Prequest")
+	}
+}

@@ -156,3 +156,119 @@ func TestMatchingSemanticsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPartitionedChannelDisjoint checks that partitioned traffic occupies
+// its own matching space: a partitioned epoch on (comm, tag, src) must not
+// match regular receives posted on the same channel, and regular eager and
+// rendezvous sends on that channel must not match a posted Precv.
+func TestPartitionedChannelDisjoint(t *testing.T) {
+	w := testWorld(t, 2)
+	c := w.Comm()
+	const tag = 5
+	const parts = 4
+	big := w.Cfg.Cost.EagerThreshold * 4
+	var eagerGot, rndvGot, partGot interface{}
+	w.Spawn(0, "sender", func(th *Thread) {
+		// The partitioned epoch fires first: if the channels leaked, the
+		// already-posted regular receives would capture the aggregate.
+		ps := th.PsendInit(c, 1, tag, parts, 64, "partitioned")
+		th.Pstart(ps)
+		if err := th.PreadyRange(ps, 0, parts); err != nil {
+			t.Errorf("PreadyRange: %v", err)
+		}
+		if err := th.Pwait(ps); err != nil {
+			t.Errorf("Pwait: %v", err)
+		}
+		th.Send(c, 1, tag, 64, "eager")
+		th.Send(c, 1, tag, big, "rendezvous")
+	})
+	w.Spawn(1, "receiver", func(th *Thread) {
+		// Regular receives post before the aggregate can land...
+		r1 := th.Irecv(c, 0, tag)
+		r2 := th.Irecv(c, 0, tag)
+		// ...and the Precv starts only after both regular sends are
+		// underway: neither may capture the other's traffic.
+		pr := th.PrecvInit(c, 0, tag, parts, 64)
+		th.Pstart(pr)
+		th.Waitall([]*Request{r1, r2})
+		eagerGot, rndvGot = r1.Data(), r2.Data()
+		if err := th.Pwait(pr); err != nil {
+			t.Errorf("Pwait(recv): %v", err)
+		}
+		partGot = pr.Data()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eagerGot != "eager" || rndvGot != "rendezvous" {
+		t.Fatalf("regular channel polluted: eager=%v rendezvous=%v", eagerGot, rndvGot)
+	}
+	if partGot != "partitioned" {
+		t.Fatalf("partitioned channel polluted: %v", partGot)
+	}
+	if err := w.CheckClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedErrorCodes pins the documented error codes on the
+// partitioned usage contract: Pready/Parrived/Pwait on an inactive request
+// return ErrPartInactive, and re-readying a partition returns
+// ErrPartDoubleReady, both through the ErrorsReturn handler.
+func TestPartitionedErrorCodes(t *testing.T) {
+	w := testWorld(t, 2)
+	w.SetErrhandler(ErrorsReturn)
+	c := w.Comm()
+	const parts = 3
+	wantCode := func(err error, code Errcode, what string) {
+		t.Helper()
+		me, ok := err.(*Error)
+		if !ok || me.Code != code {
+			t.Errorf("%s returned %v, want %v", what, err, code)
+		}
+	}
+	w.Spawn(0, "sender", func(th *Thread) {
+		ps := th.PsendInit(c, 1, 2, parts, 64, "codes")
+		wantCode(th.Pready(ps, 0), ErrPartInactive, "Pready before Pstart")
+		wantCode(th.Pwait(ps), ErrPartInactive, "Pwait before Pstart")
+		th.Pstart(ps)
+		if err := th.Pready(ps, 0); err != nil {
+			t.Errorf("first Pready: %v", err)
+		}
+		wantCode(th.Pready(ps, 0), ErrPartDoubleReady, "second Pready")
+		wantCode(th.PreadyRange(ps, 0, parts), ErrPartDoubleReady, "overlapping PreadyRange")
+		if err := th.PreadyRange(ps, 1, parts); err != nil {
+			t.Errorf("completing PreadyRange: %v", err)
+		}
+		if err := th.Pwait(ps); err != nil {
+			t.Errorf("Pwait: %v", err)
+		}
+	})
+	w.Spawn(1, "receiver", func(th *Thread) {
+		pr := th.PrecvInit(c, 0, 2, parts, 64)
+		if _, err := th.Parrived(pr, 0); err == nil {
+			t.Error("Parrived before Pstart succeeded")
+		} else {
+			wantCode(err, ErrPartInactive, "Parrived before Pstart")
+		}
+		th.Pstart(pr)
+		for done := false; !done; {
+			arrived, err := th.Parrived(pr, parts-1)
+			if err != nil {
+				t.Errorf("Parrived: %v", err)
+				break
+			}
+			done = arrived
+			th.S.Sleep(500)
+		}
+		if err := th.Pwait(pr); err != nil {
+			t.Errorf("Pwait(recv): %v", err)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckClean(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -88,6 +88,10 @@ type Request struct {
 	// cross-posted to every shard's posted queue, and copies left on other
 	// shards after it matches are tombstones pruned during later scans.
 	wild bool
+	// part links the inner request of a partitioned epoch back to its
+	// persistent Prequest (partitioned.go); nil for ordinary requests.
+	// Partitioned receives live on vciShard.pposted, not posted.
+	part *Prequest
 }
 
 // Err returns the error that failed the request, or nil. Valid once the
@@ -178,7 +182,16 @@ func (r *Request) fail(code Errcode, at sim.Time) {
 	r.err = &Error{Code: code, Detail: r.describe()}
 	if r.kind == RecvReq {
 		p := r.p
-		if r.wild && r.vci < 0 {
+		if r.part != nil {
+			// Partitioned receives post on the partitioned queue.
+			sh := p.vcis[r.vci]
+			for i, q := range sh.pposted {
+				if q == r {
+					sh.pposted = append(sh.pposted[:i], sh.pposted[i+1:]...)
+					break
+				}
+			}
+		} else if r.wild && r.vci < 0 {
 			// An unbound wildcard is cross-posted on every shard; withdraw
 			// all copies.
 			for _, sh := range p.vcis {

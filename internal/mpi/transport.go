@@ -128,6 +128,9 @@ type relState struct {
 	AcksReceived    int64
 	NacksSent       int64
 	GiveUps         int64
+	// PartRetransmits counts partitions covered by retransmitted PartData
+	// segments (partition-granularity recovery, partitioned.go).
+	PartRetransmits int64
 }
 
 func newRelState(p *Proc, plane *fault.Plane) *relState {
@@ -216,6 +219,13 @@ func (rs *relState) onTimeout(rec *txRecord) {
 // resend injects a fresh copy of rec's packet (same sequence number, no
 // TxDone: the first injection already reported buffer reuse).
 func (rs *relState) resend(rec *txRecord) {
+	if rec.pkt.Kind == fabric.PartData {
+		// Partition-granularity recovery: each segment is its own
+		// sequence-numbered unit, so only this range's partitions go out
+		// again — count them for the retransmit-locality assertion.
+		m := rec.pkt.Meta.(partMeta)
+		rs.PartRetransmits += int64(m.hi - m.lo)
+	}
 	clone := *rec.pkt
 	rs.p.ep.Send(&clone, false)
 }
@@ -351,6 +361,11 @@ type NetStats struct {
 	NacksSent       int64
 	// GiveUps counts packets the transport abandoned after MaxRetries.
 	GiveUps int64
+	// PartRetransmits counts partitions re-sent by partitioned-epoch
+	// segment retransmissions (partition-granularity recovery: only the
+	// unacked ranges of a dropped aggregate go out again). Deliberately
+	// absent from String to keep pre-existing table output stable.
+	PartRetransmits int64
 	// RequestFailures counts requests completed with an error.
 	RequestFailures int64
 	// WatchdogStalls counts progress-watchdog stall reports.
@@ -381,6 +396,7 @@ func (w *World) NetStats() NetStats {
 		s.AcksReceived += p.rel.AcksReceived
 		s.NacksSent += p.rel.NacksSent
 		s.GiveUps += p.rel.GiveUps
+		s.PartRetransmits += p.rel.PartRetransmits
 	}
 	s.RequestFailures = w.requestFailures
 	s.WatchdogStalls = w.watchdogStalls
@@ -395,6 +411,7 @@ func (w *World) CheckClean() error {
 	var problems []string
 	for _, p := range w.Procs {
 		posted, unexp, cq := 0, 0, 0
+		pposted, punexp := 0, 0
 		for _, sh := range p.vcis {
 			live := 0
 			for _, r := range sh.posted {
@@ -408,6 +425,8 @@ func (w *World) CheckClean() error {
 			posted += live
 			unexp += len(sh.unexp)
 			cq += len(sh.cq)
+			pposted += len(sh.pposted)
+			punexp += len(sh.punexp)
 		}
 		if posted > 0 {
 			problems = append(problems, fmt.Sprintf("rank %d: %d posted receives never matched", p.Rank, posted))
@@ -417,6 +436,12 @@ func (w *World) CheckClean() error {
 		}
 		if cq > 0 {
 			problems = append(problems, fmt.Sprintf("rank %d: %d completion-queue events unprocessed", p.Rank, cq))
+		}
+		if pposted > 0 {
+			problems = append(problems, fmt.Sprintf("rank %d: %d partitioned receives never matched", p.Rank, pposted))
+		}
+		if punexp > 0 {
+			problems = append(problems, fmt.Sprintf("rank %d: %d partitioned arrivals never consumed", p.Rank, punexp))
 		}
 		if p.outstanding != 0 {
 			problems = append(problems, fmt.Sprintf("rank %d: %d requests still outstanding", p.Rank, p.outstanding))

@@ -34,6 +34,14 @@ type vciShard struct {
 	unexp  []*envelope      // unexpected message queue
 	cq     []*fabric.Packet // network completion queue
 
+	// Partitioned communication keeps its own matching space: a
+	// partitioned aggregate must never match an eager/rendezvous receive
+	// with the same (comm, tag, src) and vice versa (MPI-4.0 separates
+	// the channels). pposted holds started Precv requests; punexp
+	// accumulates partition arrivals that beat their Precv's Start.
+	pposted []*Request
+	punexp  []*penvelope
+
 	// reqFree pools request objects of this shard (multi-VCI mode only;
 	// the single-VCI runtime keeps using the world pool).
 	reqFree *Request

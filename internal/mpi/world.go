@@ -154,6 +154,10 @@ type World struct {
 	requestFailures  int64
 	watchdogStalls   int64
 
+	// partStats are the partitioned-communication counters
+	// (partitioned.go); surfaced through World.PartStats.
+	partStats PartStats
+
 	// reqFree pools request objects released by Wait/Waitall (see
 	// Request.poolable for the safety conditions).
 	reqFree *Request
@@ -450,6 +454,14 @@ func (p *Proc) onPacket(pkt *fabric.Packet) {
 		// Each released packet routes to its own shard's completion queue
 		// (a retransmit flush can release packets of several flows).
 		for _, rp := range released {
+			if rp.Kind == fabric.PartData {
+				// Partitioned arrivals are consumed at driver level — the
+				// NIC writes partition data into the pre-posted buffer, no
+				// progress loop involved — so the ACK is issued here too.
+				p.handlePartData(rp)
+				p.rel.ackDelivered(rp)
+				continue
+			}
 			if len(p.vcis) > 1 && rp.Kind == fabric.Revoke {
 				// Sharded runtime: revocations are consumed at driver
 				// level, like heartbeats — the threads a Revoke must
@@ -461,6 +473,14 @@ func (p *Proc) onPacket(pkt *fabric.Packet) {
 			p.vcis[rp.VCI].cq = append(p.vcis[rp.VCI].cq, rp)
 		}
 		p.w.deliveredTotal += int64(len(released))
+		p.activity.WakeAll(p.w.Eng.Now())
+		return
+	}
+	if pkt.Kind == fabric.PartData {
+		// Fault-free partitioned arrival: same driver-level consumption as
+		// the reliable branch above, minus the transport bookkeeping.
+		p.handlePartData(pkt)
+		p.w.deliveredTotal++
 		p.activity.WakeAll(p.w.Eng.Now())
 		return
 	}

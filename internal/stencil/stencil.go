@@ -46,6 +46,15 @@ type Params struct {
 	// Incompatible with Funneled (non-polling modes need
 	// MPI_THREAD_MULTIPLE; NewWorld rejects the combination).
 	Progress mpi.ProgressMode
+	// Partitioned switches the X/Y halo faces to MPI-4 partitioned
+	// channels: one persistent Psend/Precv pair per face per process with
+	// Threads partitions, where partition t carries thread t's slab rows.
+	// Each thread packs its own rows and flips a lock-free readiness bit
+	// (Pready); only the last thread's flip enters the runtime critical
+	// section to push the whole face as one aggregated transfer. Z faces
+	// (one message per process pair) stay on the regular eager path.
+	// Requires MPI_THREAD_MULTIPLE (incompatible with Funneled).
+	Partitioned bool
 	// Fault configures the fault-injection plane (zero = perfect network).
 	Fault fault.Config
 	// MaxWall bounds real run time in wall-clock ns (0 = unlimited).
@@ -93,6 +102,9 @@ type Result struct {
 	Field []float64
 	// Net holds the resilience counters (all zero on a perfect network).
 	Net mpi.NetStats
+	// Part holds the partitioned-communication counters (all zero unless
+	// Partitioned was set).
+	Part mpi.PartStats
 }
 
 // flopsPerPoint is the 7-point update's floating-point operation count.
@@ -141,7 +153,26 @@ type procState struct {
 	ox, oy, oz int // global origin of local interior
 	barrier    *sim.Barrier
 
+	// pfaces is the per-process partitioned channel set (Partitioned mode
+	// only), built once by thread 0 before the iteration loop.
+	pfaces []*pface
+
 	mpiNs, compNs, syncNs int64
+}
+
+// pface is one X/Y face's partitioned channel state, shared by all threads
+// of a process. Double-buffered by iteration parity so a sender never
+// repacks a buffer before the neighbor unpacked the previous epoch: rank A
+// packs parity p again only at iteration i+2, which (through the Pwait /
+// trigger dependency chain of iteration i+1) is after rank B unpacked
+// iteration i.
+type pface struct {
+	dir   int // 0:-x 1:+x 2:-y 3:+y
+	peer  int
+	count int // values per thread partition (face rows of one slab)
+	psend [2]*mpi.Prequest
+	precv [2]*mpi.Prequest
+	sbuf  [2][]float64 // partition-major: thread t owns [t*count, (t+1)*count)
 }
 
 // initField fills the interior with a deterministic pattern of the global
@@ -169,6 +200,9 @@ func Run(p Params) (Result, error) {
 	nx, ny, nz := p.NX/px, p.NY/py, p.NZ/pz
 	if nz%p.Threads != 0 {
 		return res, fmt.Errorf("stencil: local nz=%d not divisible by %d threads", nz, p.Threads)
+	}
+	if p.Partitioned && p.Funneled {
+		return res, fmt.Errorf("stencil: Partitioned requires MPI_THREAD_MULTIPLE (incompatible with Funneled)")
 	}
 
 	level := mpi.ThreadMultiple
@@ -215,7 +249,11 @@ func Run(p Params) (Result, error) {
 		for t := 0; t < p.Threads; t++ {
 			t := t
 			w.Spawn(r, "stencil", func(th *mpi.Thread) {
-				stencilThread(th, c, p, st, t)
+				if p.Partitioned {
+					partitionedThread(th, c, p, st, t)
+				} else {
+					stencilThread(th, c, p, st, t)
+				}
 				if th.S.Now() > endAt {
 					endAt = th.S.Now()
 				}
@@ -264,6 +302,7 @@ func Run(p Params) (Result, error) {
 		}
 	}
 	res.Net = w.NetStats()
+	res.Part = w.PartStats()
 	if p.Fault.Enabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("stencil(%v,%d procs): %w", p.Lock, p.Procs, err)
@@ -463,6 +502,229 @@ func stencilThread(th *mpi.Thread, c *mpi.Comm, p Params, st *procState, t int) 
 		t2 := th.S.Now()
 		st.barrier.Wait(th.S)
 		if t == 0 {
+			f.cur, f.next = f.next, f.cur
+		}
+		st.barrier.Wait(th.S)
+		st.syncNs += th.S.Now() - t2
+	}
+}
+
+// partitionedThread runs one thread's slab with X/Y halos on MPI-4
+// partitioned channels (Params.Partitioned). The channel set is shared by
+// the whole process: thread 0 owns the epoch lifecycle (Pstart at exchange
+// start, Pwait in the swap window), every thread packs its own slab rows
+// into the face buffer and publishes them with a lock-free Pready(t), and
+// on the receive side every thread spin-probes Parrived(t) before
+// unpacking its own rows. Only the last Pready of a face enters the
+// runtime critical section, so each face costs one lock acquisition per
+// iteration instead of one per thread. Z faces keep the regular eager
+// path of stencilThread (they are a single whole-plane message owned by a
+// boundary slab, so there is nothing to partition across threads).
+func partitionedThread(th *mpi.Thread, c *mpi.Comm, p Params, st *procState, t int) {
+	f := &st.f
+	slab := f.nz / p.Threads
+	z0 := 1 + t*slab
+	z1 := z0 + slab // exclusive
+	cost := th.P.Cost()
+	pointNs := p.PointNs
+	if th.Place().Socket != 0 {
+		pointNs = pointNs * (100 + cost.RemoteMemPenaltyPct) / 100
+	}
+
+	// Thread 0 builds the shared partitioned channels; double-buffered by
+	// iteration parity (see pface) with the parity encoded in the tag.
+	if t == 0 {
+		add := func(dir, peer int) {
+			count := f.ny * slab // x faces: ny rows per slab plane
+			if dir >= 2 {
+				count = f.nx * slab // y faces
+			}
+			pf := &pface{dir: dir, peer: peer, count: count}
+			for par := 0; par < 2; par++ {
+				pf.sbuf[par] = make([]float64, count*p.Threads)
+				pf.psend[par] = th.PsendInit(c, peer, dir*64+par, p.Threads, int64(count*8), pf.sbuf[par])
+				pf.precv[par] = th.PrecvInit(c, peer, opposite(dir)*64+par, p.Threads, int64(count*8))
+			}
+			st.pfaces = append(st.pfaces, pf)
+		}
+		if peer := st.rankOf(st.cx-1, st.cy, st.cz); peer >= 0 {
+			add(0, peer)
+		}
+		if peer := st.rankOf(st.cx+1, st.cy, st.cz); peer >= 0 {
+			add(1, peer)
+		}
+		if peer := st.rankOf(st.cx, st.cy-1, st.cz); peer >= 0 {
+			add(2, peer)
+		}
+		if peer := st.rankOf(st.cx, st.cy+1, st.cz); peer >= 0 {
+			add(3, peer)
+		}
+	}
+	st.barrier.Wait(th.S)
+
+	// Z faces: regular eager messages owned by the boundary slabs.
+	type zop struct {
+		peer, tag int
+		plane     int // source plane to pack
+		ghost     int // ghost plane to unpack into
+	}
+	var zops []zop
+	if t == 0 {
+		if peer := st.rankOf(st.cx, st.cy, st.cz-1); peer >= 0 {
+			zops = append(zops, zop{peer: peer, tag: 4 * 64, plane: 1, ghost: 0})
+		}
+	}
+	if t == p.Threads-1 {
+		if peer := st.rankOf(st.cx, st.cy, st.cz+1); peer >= 0 {
+			zops = append(zops, zop{peer: peer, tag: 5 * 64, plane: f.nz, ghost: f.nz + 1})
+		}
+	}
+
+	packFace := func(pf *pface, out []float64) {
+		i := 0
+		if pf.dir < 2 {
+			x := 1
+			if pf.dir == 1 {
+				x = f.nx
+			}
+			for z := z0; z < z1; z++ {
+				for y := 1; y <= f.ny; y++ {
+					out[i] = f.cur[f.idx(x, y, z)]
+					i++
+				}
+			}
+		} else {
+			y := 1
+			if pf.dir == 3 {
+				y = f.ny
+			}
+			for z := z0; z < z1; z++ {
+				for x := 1; x <= f.nx; x++ {
+					out[i] = f.cur[f.idx(x, y, z)]
+					i++
+				}
+			}
+		}
+	}
+	unpackFace := func(pf *pface, in []float64) {
+		i := 0
+		if pf.dir < 2 {
+			gx := 0
+			if pf.dir == 1 {
+				gx = f.nx + 1
+			}
+			for z := z0; z < z1; z++ {
+				for y := 1; y <= f.ny; y++ {
+					f.cur[f.idx(gx, y, z)] = in[i]
+					i++
+				}
+			}
+		} else {
+			gy := 0
+			if pf.dir == 3 {
+				gy = f.ny + 1
+			}
+			for z := z0; z < z1; z++ {
+				for x := 1; x <= f.nx; x++ {
+					f.cur[f.idx(x, gy, z)] = in[i]
+					i++
+				}
+			}
+		}
+	}
+
+	zreqs := make([]*mpi.Request, 0, 2*len(zops))
+	for iter := 0; iter < p.Iters; iter++ {
+		par := iter % 2
+		t0 := th.S.Now()
+		// Thread 0 opens this iteration's epochs; the barrier keeps any
+		// Pready/Parrived from racing ahead of the Pstart.
+		if t == 0 {
+			for _, pf := range st.pfaces {
+				th.Pstart(pf.psend[par])
+				th.Pstart(pf.precv[par])
+			}
+		}
+		st.barrier.Wait(th.S)
+
+		// Z faces: post receives first (as the eager path does).
+		zreqs = zreqs[:0]
+		zrecvs := make([]*mpi.Request, len(zops))
+		for i, op := range zops {
+			zrecvs[i] = th.Irecv(c, op.peer, opposite(op.tag/64)*64)
+			zreqs = append(zreqs, zrecvs[i])
+		}
+
+		// Publish this thread's slab rows on every X/Y face: pack into the
+		// shared buffer, then a lock-free readiness flip. The last flip of
+		// a face triggers the single aggregated transfer.
+		for _, pf := range st.pfaces {
+			packFace(pf, pf.sbuf[par][t*pf.count:(t+1)*pf.count])
+			th.S.Sleep(cost.CopyTime(int64(pf.count * 8))) // pack cost
+			th.Pready(pf.psend[par], t)                    //simcheck:allow errdrop halo exchange runs under the fatal handler; errors panic inside Pready
+		}
+
+		// Z faces: pack + eager send, then drain.
+		for _, op := range zops {
+			data := packZ(f, op.plane)
+			th.S.Sleep(cost.CopyTime(int64(len(data) * 8))) // pack cost
+			zreqs = append(zreqs, th.Isend(c, op.peer, op.tag, int64(len(data)*8), data))
+		}
+		if len(zreqs) > 0 {
+			th.Waitall(zreqs) //simcheck:allow errdrop halo exchange runs under the fatal handler; errors panic inside Waitall
+			for i, op := range zops {
+				data := zrecvs[i].Data().([]float64)
+				th.S.Sleep(cost.CopyTime(int64(len(data) * 8))) // unpack cost
+				unpackZ(f, op.ghost, data)
+			}
+		}
+
+		// Consume this thread's partitions: spin on fine-grained arrival,
+		// then unpack only our own rows from the aggregated face.
+		for _, pf := range st.pfaces {
+			for {
+				ok, _ := th.Parrived(pf.precv[par], t) //simcheck:allow errdrop halo exchange runs under the fatal handler; errors panic inside Parrived
+				if ok {
+					break
+				}
+				th.S.Sleep(cost.ProgressLoopOverhead)
+			}
+			in := pf.precv[par].Data().([]float64)
+			th.S.Sleep(cost.CopyTime(int64(pf.count * 8))) // unpack cost
+			unpackFace(pf, in[t*pf.count:(t+1)*pf.count])
+		}
+		st.mpiNs += th.S.Now() - t0
+
+		// Compute the slab (identical to stencilThread).
+		t1 := th.S.Now()
+		const alpha = 0.1
+		for z := z0; z < z1; z++ {
+			for y := 1; y <= f.ny; y++ {
+				base := f.idx(0, y, z)
+				for x := 1; x <= f.nx; x++ {
+					i := base + x
+					lap := f.cur[i-1] + f.cur[i+1] +
+						f.cur[i-(f.nx+2)] + f.cur[i+(f.nx+2)] +
+						f.cur[i-(f.nx+2)*(f.ny+2)] + f.cur[i+(f.nx+2)*(f.ny+2)] -
+						6*f.cur[i]
+					f.next[i] = f.cur[i] + alpha*lap
+				}
+			}
+		}
+		th.S.Sleep(int64(f.nx*f.ny*(z1-z0)) * pointNs)
+		st.compNs += th.S.Now() - t1
+
+		// End-of-iteration synchronization. Thread 0 retires the epochs in
+		// the swap window: after the first barrier no thread can still be
+		// probing Parrived on this parity, and the epochs must be closed
+		// before iteration i+2 reopens the same pair.
+		t2 := th.S.Now()
+		st.barrier.Wait(th.S)
+		if t == 0 {
+			for _, pf := range st.pfaces {
+				th.Pwait(pf.psend[par]) //simcheck:allow errdrop halo exchange runs under the fatal handler; errors panic inside Pwait
+				th.Pwait(pf.precv[par]) //simcheck:allow errdrop halo exchange runs under the fatal handler; errors panic inside Pwait
+			}
 			f.cur, f.next = f.next, f.cur
 		}
 		st.barrier.Wait(th.S)

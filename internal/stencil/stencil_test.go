@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mpicontend/internal/mpi"
 	"mpicontend/internal/simlock"
 )
 
@@ -244,5 +245,80 @@ func TestFunneledVsMultipleTradeoff(t *testing.T) {
 	if fun.GFlops <= mul.GFlops*0.8 {
 		t.Errorf("funneled (%.3f) unexpectedly far below mutex multiple (%.3f)",
 			fun.GFlops, mul.GFlops)
+	}
+}
+
+func TestPartitionedMatchesSerial(t *testing.T) {
+	// The partitioned halo path must compute the exact same field as the
+	// eager path: same pack/unpack layout, just a different wire protocol.
+	for _, cfg := range []struct{ procs, threads int }{
+		{4, 2}, // 2x2x1 grid: x and y faces, no z faces
+		{8, 4}, // 2x2x2 grid: partitioned x/y plus eager z faces
+		{2, 1}, // single-thread partitions (parts == 1)
+	} {
+		p := Params{Lock: simlock.KindTicket, Procs: cfg.procs, Threads: cfg.threads,
+			NX: 8, NY: 8, NZ: 8, Iters: 5, KeepField: true, Partitioned: true}
+		res, err := Run(p)
+		if err != nil {
+			t.Fatalf("procs=%d threads=%d: %v", cfg.procs, cfg.threads, err)
+		}
+		want := serialReference(8, 8, 8, 5)
+		for i := range want {
+			if math.Abs(res.Field[i]-want[i]) > 1e-12 {
+				t.Fatalf("procs=%d threads=%d: field[%d] = %v, want %v",
+					cfg.procs, cfg.threads, i, res.Field[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionedChecksumParity(t *testing.T) {
+	base := Params{Lock: simlock.KindMutex, Procs: 4, Threads: 4,
+		NX: 16, NY: 16, NZ: 16, Iters: 4}
+	eager, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := base
+	part.Partitioned = true
+	pres, err := Run(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Checksum != eager.Checksum {
+		t.Fatalf("partitioned checksum %v != eager checksum %v", pres.Checksum, eager.Checksum)
+	}
+	// The counters thread out through Result: the X/Y faces really rode
+	// partitioned channels (one trigger per face-epoch, the rest of the
+	// Preadys lock-free), and the eager run never touched them.
+	if pres.Part.Aggregates == 0 || pres.Part.PreadyFast == 0 {
+		t.Fatalf("partitioned run recorded no partitioned traffic: %+v", pres.Part)
+	}
+	if eager.Part != (mpi.PartStats{}) {
+		t.Fatalf("eager run recorded partitioned traffic: %+v", eager.Part)
+	}
+}
+
+func TestPartitionedRejectsFunneled(t *testing.T) {
+	_, err := Run(Params{Lock: simlock.KindNone, Procs: 2, NX: 8, NY: 8, NZ: 8,
+		Partitioned: true, Funneled: true})
+	if err == nil {
+		t.Fatal("Partitioned+Funneled accepted")
+	}
+}
+
+func TestPartitionedDeterministic(t *testing.T) {
+	p := Params{Lock: simlock.KindTicket, Procs: 4, Threads: 4,
+		NX: 8, NY: 8, NZ: 8, Iters: 3, Partitioned: true}
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimNs != b.SimNs || a.Checksum != b.Checksum {
+		t.Fatal("nondeterministic partitioned stencil run")
 	}
 }

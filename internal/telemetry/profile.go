@@ -98,17 +98,28 @@ type GaugeStats struct {
 	TimeAvg float64 `json:"time_avg"`
 }
 
+// PartitionedProfile reports the partitioned-communication counters: how
+// many Pready calls stayed on the lock-free path versus triggered the
+// aggregated transfer. AggRatio is partitions per aggregate — (Lockfree +
+// Trigger) / Trigger when every partition gets one Pready.
+type PartitionedProfile struct {
+	Lockfree int64   `json:"lockfree"`
+	Trigger  int64   `json:"trigger"`
+	AggRatio float64 `json:"agg_ratio"`
+}
+
 // Profile is the derived analysis of one recorded run.
 type Profile struct {
-	Schema          string          `json:"schema"`
-	SimEndNs        int64           `json:"sim_end_ns"`
-	Spans           int64           `json:"spans"`
-	Locks           []LockProfile   `json:"locks"`
-	Progress        ProgressProfile `json:"progress"`
-	CriticalPath    CriticalPath    `json:"critical_path"`
-	Dangling        GaugeStats      `json:"dangling"`
-	CompletionQueue GaugeStats      `json:"completion_queue"`
-	UnexpectedQueue HistStats       `json:"unexpected_queue"`
+	Schema          string             `json:"schema"`
+	SimEndNs        int64              `json:"sim_end_ns"`
+	Spans           int64              `json:"spans"`
+	Locks           []LockProfile      `json:"locks"`
+	Progress        ProgressProfile    `json:"progress"`
+	CriticalPath    CriticalPath       `json:"critical_path"`
+	Dangling        GaugeStats         `json:"dangling"`
+	CompletionQueue GaugeStats         `json:"completion_queue"`
+	UnexpectedQueue HistStats          `json:"unexpected_queue"`
+	Partitioned     PartitionedProfile `json:"partitioned"`
 }
 
 // payloadKinds are the packet kinds whose flight counts as one message
@@ -250,6 +261,10 @@ func (r *Recorder) Profile() *Profile {
 	p.Dangling = r.danglingStats()
 	p.CompletionQueue = r.gaugeStats(r.cqdepth)
 	p.UnexpectedQueue = r.unexpected.Stats()
+	p.Partitioned = PartitionedProfile{Lockfree: r.preadyFast, Trigger: r.preadyTrigger}
+	if r.preadyTrigger > 0 {
+		p.Partitioned.AggRatio = float64(r.preadyFast+r.preadyTrigger) / float64(r.preadyTrigger)
+	}
 	return p
 }
 
@@ -454,6 +469,12 @@ func (p *Profile) Text() string {
 		// out otherwise preserves pre-existing report output.
 		fmt.Fprintf(&b, "completion queue: avg depth %.2f, max %d (%d samples)\n",
 			p.CompletionQueue.TimeAvg, p.CompletionQueue.Max, p.CompletionQueue.Samples)
+	}
+	if p.Partitioned.Lockfree+p.Partitioned.Trigger > 0 {
+		// Only partitioned runs bump the counters; keeping the line out
+		// otherwise preserves pre-existing report output.
+		fmt.Fprintf(&b, "partitioned: pready.lockfree=%d pready.trigger=%d aggregation ratio %.1f partitions/transfer\n",
+			p.Partitioned.Lockfree, p.Partitioned.Trigger, p.Partitioned.AggRatio)
 	}
 	fmt.Fprintf(&b, "unexpected queue: %s\n", histLine(p.UnexpectedQueue))
 	return b.String()

@@ -139,6 +139,11 @@ type Recorder struct {
 	cqdepth    []gaugeSample
 	unexpected Hist
 
+	// Partitioned-communication counters (plain counts, no spans: the
+	// Pready fast path must stay allocation-free).
+	preadyFast    int64
+	preadyTrigger int64
+
 	maxTs int64
 }
 
@@ -176,6 +181,25 @@ func (r *Recorder) RegisterLock(name string) int {
 	}
 	r.lockNames = append(r.lockNames, name)
 	return len(r.lockNames) - 1
+}
+
+// PreadyFast counts one lock-free (non-triggering) Pready/PreadyRange
+// call. Counter-only and allocation-free: it sits on the partitioned fast
+// path, which takes no lock and records no span.
+func (r *Recorder) PreadyFast() {
+	if r == nil {
+		return
+	}
+	r.preadyFast++
+}
+
+// PreadyTrigger counts one readiness-completing Pready — the call that
+// entered the shard section and injected the epoch's aggregate.
+func (r *Recorder) PreadyTrigger() {
+	if r == nil {
+		return
+	}
+	r.preadyTrigger++
 }
 
 // ensureNIC widens the NIC track range to include id.

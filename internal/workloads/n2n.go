@@ -64,6 +64,14 @@ type N2NParams struct {
 	// peer via tags, making match pools per-thread (shallow) instead of
 	// pooled per-process.
 	PerThreadTags bool
+	// Partitioned replaces each thread's per-message eager sends with
+	// MPI-4 partitioned channels: one persistent Psend/Precv pair per
+	// peer, Window/peers partitions per window, each Pready a lock-free
+	// bitmap update, and a single aggregated transfer per (peer, window)
+	// — so the send path acquires the runtime lock once per aggregate
+	// instead of once per message. Uses the batch shape regardless of
+	// Mode.
+	Partitioned bool
 	// VCIs shards each proc's runtime into this many virtual communication
 	// interfaces (0/1 = the unsharded byte-identical runtime); VCIPolicy
 	// picks the operation→VCI mapping. With PerThreadTags and the
@@ -129,6 +137,9 @@ type N2NResult struct {
 	UnexpectedHits int64
 	// Net holds the resilience counters (all zero on a perfect network).
 	Net mpi.NetStats
+	// Part holds the partitioned-path counters (all zero unless
+	// Partitioned is set).
+	Part mpi.PartStats
 }
 
 // N2N runs the all-to-all streaming benchmark.
@@ -192,6 +203,7 @@ func N2N(p N2NParams) (N2NResult, error) {
 		res.UnexpectedHits += pr.UnexpectedHits
 	}
 	res.Net = w.NetStats()
+	res.Part = w.PartStats()
 	if p.Fault.Enabled() && !p.Fault.CrashesEnabled() {
 		if err := w.CheckClean(); err != nil {
 			return res, fmt.Errorf("n2n(%v,%dB): %w", p.Lock, p.MsgBytes, err)
@@ -216,6 +228,11 @@ func runN2NThread(th *mpi.Thread, c *mpi.Comm, p N2NParams, rank, t int, endAt *
 		if th.S.Now() > *endAt {
 			*endAt = th.S.Now()
 		}
+	}
+
+	if p.Partitioned {
+		runN2NPartitioned(th, c, p, t, peers, tag, stamp)
+		return
 	}
 
 	type slot struct {
@@ -290,5 +307,49 @@ func runN2NThread(th *mpi.Thread, c *mpi.Comm, p N2NParams, rank, t int, endAt *
 			}
 			stamp()
 		}
+	}
+}
+
+// runN2NPartitioned drives one thread of the partitioned variant: the same
+// traffic volume as the batch shape — Window messages to and from every
+// peer group per cycle — but each per-message eager send becomes a Pready
+// on a persistent partitioned channel. The per-message application work is
+// identical; what disappears is the per-message runtime lock traffic,
+// replaced by one trigger (and one Pstart/Pwait pair) per peer per window.
+func runN2NPartitioned(th *mpi.Thread, c *mpi.Comm, p N2NParams, t int, peers []int, tag int, stamp func()) {
+	parts := p.Window / len(peers) // Window is rounded to a peer multiple
+	psend := make([]*mpi.Prequest, len(peers))
+	precv := make([]*mpi.Prequest, len(peers))
+	for i, peer := range peers {
+		psend[i] = th.PsendInit(c, peer, tag, parts, p.MsgBytes, nil)
+		precv[i] = th.PrecvInit(c, peer, tag, parts, p.MsgBytes)
+	}
+	next := make([]int, len(peers))
+	for win := 0; win < p.Windows; win++ {
+		for i := range peers {
+			next[i] = 0
+			th.Pstart(psend[i])
+		}
+		// The per-partition stream, in the batch shape's message order:
+		// same application-level work per message, but the runtime call is
+		// a lock-free bitmap update (the last one per peer triggers that
+		// peer's aggregate).
+		for i := 0; i < p.Window; i++ {
+			pi := (i + t) % len(peers)
+			th.S.Sleep(th.P.Cost().AppPerMessageWork)
+			th.Pready(psend[pi], next[pi]) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Pready
+			next[pi]++
+		}
+		// Receives post after the send burst, like the batch shape:
+		// aggregates that already landed detour through the partitioned
+		// unexpected queue.
+		for i := range peers {
+			th.Pstart(precv[i])
+		}
+		for i := range peers {
+			th.Pwait(psend[i]) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Pwait
+			th.Pwait(precv[i]) //simcheck:allow errdrop benchmark loop under the fatal handler; errors panic inside Pwait
+		}
+		stamp()
 	}
 }

@@ -243,3 +243,39 @@ func TestRMAOpString(t *testing.T) {
 		t.Fatal("op names changed")
 	}
 }
+
+// TestN2NPartitioned runs the partitioned variant across the lock kinds
+// and checks the aggregation accounting: same message volume as the batch
+// shape, but one trigger (and one aggregated transfer) per peer per window
+// with every other Pready lock-free.
+func TestN2NPartitioned(t *testing.T) {
+	for _, k := range []simlock.Kind{simlock.KindMutex, simlock.KindTicket, simlock.KindPriority, simlock.KindCohort} {
+		p := N2NParams{
+			Lock: k, Procs: 3, Threads: 4, MsgBytes: 64,
+			Window: 8, Windows: 3, PerThreadTags: true, Partitioned: true,
+		}
+		r, err := N2N(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Messages == 0 || r.SimNs == 0 {
+			t.Fatalf("%v: degenerate result: %+v", k, r)
+		}
+		p = p.withDefaults()
+		peers := p.Procs - 1
+		parts := p.Window / peers
+		wantAgg := int64(p.Procs) * int64(p.Threads) * int64(peers) * int64(p.Windows)
+		if r.Part.Aggregates != wantAgg {
+			t.Errorf("%v: %d aggregates, want %d (one per peer per window per thread)", k, r.Part.Aggregates, wantAgg)
+		}
+		if r.Part.PreadyTrigger != wantAgg {
+			t.Errorf("%v: %d triggers, want %d", k, r.Part.PreadyTrigger, wantAgg)
+		}
+		if want := wantAgg * int64(parts-1); r.Part.PreadyFast != want {
+			t.Errorf("%v: %d lock-free Preadys, want %d", k, r.Part.PreadyFast, want)
+		}
+		if r.Part.Partitions != r.Messages {
+			t.Errorf("%v: %d partitions moved, want the full message volume %d", k, r.Part.Partitions, r.Messages)
+		}
+	}
+}

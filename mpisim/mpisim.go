@@ -142,6 +142,31 @@ type NetStats struct {
 	GiveUps, RequestFailures, WatchdogStalls int64
 }
 
+// PartStats reports the MPI-4 partitioned-communication counters for one
+// run; all fields are zero unless a partitioned mode was enabled.
+type PartStats struct {
+	// PreadyFast counts Pready calls that stayed on the lock-free path
+	// (atomic bitmap flips, no critical section); PreadyTrigger counts the
+	// readiness-completing calls that entered the runtime and injected the
+	// aggregate — one per epoch.
+	PreadyFast, PreadyTrigger int64
+	// Aggregates counts aggregated wire transfers and Partitions the
+	// partitions they carried; Partitions/Aggregates is the aggregation
+	// ratio (messages saved per lock acquisition).
+	Aggregates, Partitions int64
+	// PartRetransmits counts partitions re-sent by partition-granularity
+	// recovery on a lossy network.
+	PartRetransmits int64
+}
+
+func partStats(s mpi.PartStats) PartStats {
+	return PartStats{
+		PreadyFast: s.PreadyFast, PreadyTrigger: s.PreadyTrigger,
+		Aggregates: s.Aggregates, Partitions: s.Partitions,
+		PartRetransmits: s.PartRetransmits,
+	}
+}
+
 func netStats(s mpi.NetStats) NetStats {
 	return NetStats{
 		Dropped: s.Fault.Dropped, Duplicated: s.Fault.Duplicated,
@@ -442,6 +467,11 @@ type N2NConfig struct {
 	// peer via tags, making match pools per-thread instead of pooled
 	// per-process (and, with PerTagHash VCIs, per-VCI).
 	PerThreadTags bool
+	// Partitioned replaces each thread's per-message eager sends with
+	// MPI-4 partitioned channels: one persistent Psend/Precv pair per
+	// peer, each message a lock-free Pready partition flip, one aggregated
+	// wire transfer (and one runtime lock acquisition) per window.
+	Partitioned bool
 	// VCIs shards each proc's runtime into this many virtual
 	// communication interfaces, each with its own matching queues,
 	// request pool and critical-section lock (0/1 = the unsharded
@@ -467,6 +497,9 @@ type N2NResult struct {
 	UnexpectedHits int64
 	// Net holds the resilient-transport counters.
 	Net NetStats
+	// Part holds the partitioned-communication counters (all zero unless
+	// Partitioned was set).
+	Part PartStats
 }
 
 // N2N runs the all-to-all streaming benchmark.
@@ -474,8 +507,8 @@ func N2N(c N2NConfig) (N2NResult, error) {
 	r, err := workloads.N2N(workloads.N2NParams{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		MsgBytes: c.MsgBytes, Windows: c.Windows, Seed: c.Seed,
-		PerThreadTags: c.PerThreadTags,
-		VCIs:          c.VCIs, VCIPolicy: c.VCIPolicy.policy(),
+		PerThreadTags: c.PerThreadTags, Partitioned: c.Partitioned,
+		VCIs: c.VCIs, VCIPolicy: c.VCIPolicy.policy(),
 		Progress: c.Progress.mode(),
 		Fault:    c.Fault.config(), Tel: c.Telemetry.recorder(),
 	})
@@ -483,7 +516,8 @@ func N2N(c N2NConfig) (N2NResult, error) {
 		return N2NResult{}, err
 	}
 	return N2NResult{RateMsgsPerSec: r.RateMsgsPerSec, SimNs: r.SimNs,
-		UnexpectedHits: r.UnexpectedHits, Net: netStats(r.Net)}, nil
+		UnexpectedHits: r.UnexpectedHits, Net: netStats(r.Net),
+		Part: partStats(r.Part)}, nil
 }
 
 // RMAOp selects the one-sided operation.
@@ -591,6 +625,11 @@ type StencilConfig struct {
 	// Funneled uses the MPI_THREAD_FUNNELED structure (thread 0
 	// communicates, lock-free runtime) instead of THREAD_MULTIPLE.
 	Funneled bool
+	// Partitioned moves the X/Y halo faces onto MPI-4 partitioned
+	// channels: every thread publishes its slab rows with a lock-free
+	// Pready and each face goes out as one aggregated transfer per
+	// iteration. Incompatible with Funneled.
+	Partitioned bool
 	// Progress selects who drives the progress engine (docs/PROGRESS.md).
 	// Incompatible with Funneled, which runs below MPI_THREAD_MULTIPLE.
 	Progress ProgressMode
@@ -606,6 +645,9 @@ type StencilResult struct {
 	Checksum                    float64
 	// Net holds the resilient-transport counters.
 	Net NetStats
+	// Part holds the partitioned-communication counters (all zero unless
+	// Partitioned was set).
+	Part PartStats
 }
 
 // Stencil runs the 3-D stencil kernel.
@@ -613,15 +655,16 @@ func Stencil(c StencilConfig) (StencilResult, error) {
 	r, err := stencil.Run(stencil.Params{
 		Lock: c.Lock.kind(), Procs: c.Procs, Threads: c.Threads,
 		NX: c.NX, NY: c.NY, NZ: c.NZ, Iters: c.Iters, Seed: c.Seed,
-		Funneled: c.Funneled, Progress: c.Progress.mode(),
-		Fault: c.Fault.config(),
+		Funneled: c.Funneled, Partitioned: c.Partitioned,
+		Progress: c.Progress.mode(),
+		Fault:    c.Fault.config(),
 	})
 	if err != nil {
 		return StencilResult{}, err
 	}
 	return StencilResult{GFlops: r.GFlops, SimNs: r.SimNs, MPIPct: r.MPIPct,
 		ComputePct: r.ComputePct, SyncPct: r.SyncPct, Checksum: r.Checksum,
-		Net: netStats(r.Net)}, nil
+		Net: netStats(r.Net), Part: partStats(r.Part)}, nil
 }
 
 // AssemblyConfig parametrizes the SWAP-style genome assembly application
